@@ -1,0 +1,60 @@
+"""Ablation: calibrated size estimator vs exact codec output.
+
+DESIGN.md decision 3 trades exact per-block compression for a calibrated
+per-class model so million-block sweeps stay tractable. This bench
+quantifies the trade: estimated vs real gzip-6 compressed sizes over a
+sample of mixed-content blocks.
+"""
+
+import numpy as np
+
+from repro.codecs import get_codec
+from repro.experiments import default_context
+from repro.vmi import block_view, cache_stream, materialize_block
+
+
+def _aggregate_error(ctx, block_size: int, n_blocks: int = 48):
+    estimator = ctx.estimator("gzip6", (block_size,))
+    codec = get_codec("gzip6")
+    specs = ctx.specs[::71][:6]
+    estimated_total = 0
+    real_total = 0
+    per_block_errors = []
+    for spec in specs:
+        stream = cache_stream(spec)
+        view = block_view(stream, block_size)
+        psizes = view.psizes(estimator)
+        grains_per_block = block_size // 1024
+        count = 0
+        for index in range(view.n_blocks):
+            if view.is_hole[index] or count >= n_blocks // len(specs):
+                continue
+            grains = stream[index * grains_per_block : (index + 1) * grains_per_block]
+            real = codec.effective_size(materialize_block(grains))
+            estimated = int(psizes[index])
+            estimated_total += estimated
+            real_total += real
+            per_block_errors.append(abs(estimated - real) / real)
+            count += 1
+    return estimated_total / real_total, float(np.mean(per_block_errors))
+
+
+def test_ablation_estimator_accuracy(benchmark, record_result):
+    ctx = default_context()
+
+    def run():
+        return {bs: _aggregate_error(ctx, bs) for bs in (4096, 65536)}
+
+    result = benchmark.pedantic(run, rounds=1)
+    lines = ["Ablation: estimator vs exact gzip-6 sizes", "-" * 42]
+    for bs, (aggregate_ratio, mean_block_error) in result.items():
+        lines.append(
+            f"block {bs // 1024:>3d} KB: aggregate est/real = {aggregate_ratio:.3f}, "
+            f"mean per-block error = {mean_block_error:.1%}"
+        )
+    record_result("ablation_estimator", "\n".join(lines))
+    for aggregate_ratio, mean_block_error in result.values():
+        # aggregate sizes (what the figures use) stay within 15%
+        assert 0.85 < aggregate_ratio < 1.15
+        # individual blocks may vary more, but not wildly
+        assert mean_block_error < 0.35

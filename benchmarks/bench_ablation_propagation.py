@@ -1,0 +1,59 @@
+"""Ablation: multicast vs unicast (rsync-style) vs P2P cache propagation.
+
+Section 3.5 argues for multicasting snapshot diffs over per-node rsync. This
+bench distributes one registration diff to 64 nodes under all three
+mechanisms and compares sender load and completion time.
+"""
+
+from repro.net import (
+    Node,
+    NodeKind,
+    TransferLedger,
+    multicast,
+    swarm_distribute,
+    unicast_fanout,
+)
+
+
+def test_ablation_propagation(benchmark, record_result):
+    diff_bytes = 10 << 20  # an O(10 MB) cVolume diff (Section 5.3)
+    sender = Node("storage0", NodeKind.STORAGE)
+    receivers = [Node(f"c{i}", NodeKind.COMPUTE) for i in range(64)]
+
+    def run():
+        outcomes = {}
+        for name, fn in (
+            ("multicast", multicast),
+            ("unicast", unicast_fanout),
+            ("p2p", swarm_distribute),
+        ):
+            ledger = TransferLedger()
+            result = fn(ledger, sender, receivers, diff_bytes)
+            outcomes[name] = (
+                result.duration_s,
+                result.sender_bytes if hasattr(result, "sender_bytes")
+                else result.origin_bytes,
+                sum(ledger.bytes_out_of(r.name) for r in receivers),
+            )
+        return outcomes
+
+    result = benchmark.pedantic(run, rounds=1)
+    lines = [
+        "Ablation: propagating a 10 MB diff to 64 nodes",
+        "-" * 47,
+        f"{'mechanism':>10s} {'time':>9s} {'origin sends':>13s} {'peer uploads':>13s}",
+    ]
+    for name, (duration, origin, peer) in result.items():
+        lines.append(
+            f"{name:>10s} {duration * 1e3:>7.0f}ms {origin / 2**20:>11.1f}MB "
+            f"{peer / 2**20:>11.1f}MB"
+        )
+    record_result("ablation_propagation", "\n".join(lines))
+    # multicast: origin pays ~1x, nodes upload nothing, fastest completion
+    assert result["multicast"][1] < 1.1 * diff_bytes
+    assert result["multicast"][2] == 0
+    assert result["multicast"][0] < result["unicast"][0]
+    # unicast: origin pays 64x
+    assert result["unicast"][1] == 64 * diff_bytes
+    # p2p: origin relieved but compute nodes burn uplink (SLA interference)
+    assert result["p2p"][2] > 0

@@ -1,0 +1,14 @@
+"""Figure 3: cache compression ratio per codec (gzip6/gzip9/lzjb/lz4)."""
+
+from repro.experiments import default_context, fig03_codecs as exp
+
+
+def test_fig03_codecs(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # paper shape: gzip9 compresses about as well as gzip6 (slightly better);
+    # lz4 and lzjb are faster codecs with clearly lower ratios
+    for i, _bs in enumerate(result.block_sizes):
+        assert result.by_codec["gzip9"][i] >= result.by_codec["gzip6"][i] * 0.98
+        assert result.by_codec["gzip6"][i] > result.by_codec["lz4"][i]
+        assert result.by_codec["gzip6"][i] > result.by_codec["lzjb"][i]

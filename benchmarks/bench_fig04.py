@@ -1,0 +1,17 @@
+"""Figure 4: combined compression ratio (CCR) of images and caches."""
+
+from repro.experiments import default_context, fig04_ccr as exp
+
+
+def test_fig04_ccr(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # paper shape: an optimisation point exists — smaller blocks do NOT
+    # always compress better once dedup and gzip are combined
+    assert result.caches_ccr[0] < max(result.caches_ccr)
+    # CCR declines toward huge blocks for both subjects...
+    assert result.caches_ccr[-1] < max(result.caches_ccr)
+    assert result.images_ccr[-1] < max(result.images_ccr)
+    # ...and the peaks sit at small (but not necessarily minimal) block sizes
+    assert result.peak_block_size("images") <= 16 * 1024
+    assert 2 * 1024 <= result.peak_block_size("caches") <= 32 * 1024

@@ -1,0 +1,15 @@
+"""Figure 9: dedup-table size on disk vs block size."""
+
+from repro.experiments import default_context, fig09_ddt_disk as exp
+
+
+def test_fig09_ddt_disk(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # DDT-on-disk grows steeply as blocks shrink (the Figure 8 overhead)
+    assert result.images_ddt_gb[0] > 5 * result.images_ddt_gb[-1]
+    assert result.caches_ddt_gb[0] > 5 * result.caches_ddt_gb[-1]
+    # and images carry far more table than caches
+    assert all(
+        i > 10 * c for i, c in zip(result.images_ddt_gb, result.caches_ddt_gb)
+    )

@@ -1,0 +1,13 @@
+"""Figure 10: DDT memory consumption vs block size."""
+
+from repro.experiments import default_context, fig10_ddt_memory as exp
+
+
+def test_fig10_ddt_memory(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # headline claim: cache DDT memory is below ~100 MB at >= 32 KB blocks
+    for block_size in (32768, 65536, 131072):
+        assert result.cache_memory_mb_at(block_size) < 100.0
+    # image DDT memory grows at an alarming rate as blocks shrink
+    assert result.images_memory_gb[0] > 8 * result.images_memory_gb[-1]

@@ -1,0 +1,18 @@
+"""Figure 12: cross-similarity of images and caches."""
+
+from repro.experiments import default_context, fig12_cross_similarity as exp
+
+
+def test_fig12_cross_similarity(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # the paper's theorem: caches share far more than their images do
+    for cache_sim, image_sim in zip(
+        result.caches_similarity[:8], result.images_similarity[:8]
+    ):
+        assert cache_sim > image_sim
+    # strong cache similarity at small blocks, weak image similarity
+    assert result.caches_similarity[0] > 0.6
+    assert result.images_similarity[0] < 0.6
+    # similarity decreases with block size
+    assert result.caches_similarity[0] > result.caches_similarity[-1]

@@ -1,0 +1,16 @@
+"""Figure 13: incremental resource consumption while adding files (64 KB)."""
+
+import numpy as np
+
+from repro.experiments import default_context, fig13_incremental as exp
+
+
+def test_fig13_incremental(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # image slopes are much steeper than cache slopes (both disk and memory)
+    assert result.slope_ratio_disk() > 10.0
+    assert result.images_memory_mb[-1] > 3 * result.caches_memory_mb[-1]
+    # trajectories are monotone non-decreasing
+    assert (np.diff(result.caches_disk_gb) >= -1e-9).all()
+    assert (np.diff(result.caches_memory_mb) >= -1e-9).all()

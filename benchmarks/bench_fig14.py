@@ -1,0 +1,21 @@
+"""Figure 14 + Table 3: disk-consumption curve fitting (train on half)."""
+
+from repro.analysis import rmse
+from repro.experiments import default_context, fits
+
+
+def test_fig14_tab03_disk_fit(benchmark, record_result):
+    result = benchmark.pedantic(fits.run_disk, args=(default_context(),), rounds=1)
+    rendered = (
+        fits.render_fit_quality(result, figure="Figure 14")
+        + "\n\n"
+        + fits.render_rmse_table(result, table="Table 3")
+    )
+    record_result("fig14_tab03", rendered)
+    outcome = result.outcome_64k()
+    # all three candidates fit (the paper plots all three against 'real')
+    assert set(outcome.half_fits) == {"linear", "MMF", "hoerl"}
+    # every candidate tracks the data within 20% of its range
+    span = outcome.y.max() - outcome.y.min()
+    for name, fit in outcome.half_fits.items():
+        assert rmse(fit, outcome.x, outcome.y) < 0.2 * span, name

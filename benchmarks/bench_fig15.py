@@ -1,0 +1,15 @@
+"""Figure 15: disk-consumption extrapolation to 3000 caches."""
+
+from repro.experiments import default_context, fits
+
+
+def test_fig15_disk_extrapolation(benchmark, record_result):
+    result = benchmark.pedantic(fits.run_disk, args=(default_context(),), rounds=1)
+    record_result("fig15", fits.render_extrapolation(result, figure="Figure 15"))
+    outcome = result.outcome_64k()
+    # paper: ~18 GB of disk stores 1200+ caches at 64 KB
+    at_1214 = outcome.extrapolate(1214)
+    assert 10.0 < at_1214 < 30.0
+    # extrapolation grows with cache count and stays sane at 3000
+    assert outcome.extrapolate(3000) > at_1214
+    assert outcome.extrapolate(3000) < 120.0

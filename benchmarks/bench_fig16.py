@@ -1,0 +1,15 @@
+"""Figure 16 + Table 4: memory-consumption curve fitting."""
+
+from repro.experiments import default_context, fits
+
+
+def test_fig16_tab04_memory_fit(benchmark, record_result):
+    result = benchmark.pedantic(fits.run_memory, args=(default_context(),), rounds=1)
+    rendered = (
+        fits.render_fit_quality(result, figure="Figure 16")
+        + "\n\n"
+        + fits.render_rmse_table(result, table="Table 4")
+    )
+    record_result("fig16_tab04", rendered)
+    # the paper's Table 4 outcome: MMF estimates memory best at 64 KB
+    assert result.outcome_64k().winner_name == "MMF"

@@ -1,0 +1,15 @@
+"""Figure 17: memory-consumption extrapolation to 3000 caches."""
+
+from repro.experiments import default_context, fits
+
+
+def test_fig17_memory_extrapolation(benchmark, record_result):
+    result = benchmark.pedantic(fits.run_memory, args=(default_context(),), rounds=1)
+    record_result("fig17", fits.render_extrapolation(result, figure="Figure 17"))
+    outcome = result.outcome_64k()
+    # paper: ~85 MB of memory dedups 1200+ caches at 64 KB — modest either way
+    at_1214 = outcome.extrapolate(1214)
+    assert 20.0 < at_1214 < 170.0
+    # memory saturates: going 1214 -> 3000 caches must grow sublinearly
+    growth = outcome.extrapolate(3000) / at_1214
+    assert growth < 3000 / 1214

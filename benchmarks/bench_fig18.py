@@ -1,0 +1,19 @@
+"""Figure 18: network transfer with and without Squirrel (boot storm)."""
+
+from repro.experiments import default_context, fig18_network_transfer as exp
+
+
+def test_fig18_network_transfer(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # Squirrel: zero network bytes at every point
+    assert all(v == 0.0 for v in result.with_caches)
+    assert result.cache_hit_rate == 1.0
+    # without caches: traffic grows with both axes
+    for vms in (1, 2, 4, 8):
+        series = result.without_caches[vms]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+    at_64 = {vms: result.without_caches[vms][-1] for vms in (1, 2, 4, 8)}
+    assert at_64[8] > 3.5 * at_64[2]
+    # the extreme case: 512 VMs pull on the order of 100+ GB (paper: ~180 GB)
+    assert 60.0 < at_64[8] < 320.0

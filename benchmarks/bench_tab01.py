@@ -1,0 +1,15 @@
+"""Table 1: the storage reduction chain at 128 KB block size."""
+
+from repro.common.units import GiB, TiB
+from repro.experiments import default_context, tab01_storage_chain as exp
+
+
+def test_tab01_storage_chain(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    # the three input columns reproduce the paper by dataset construction
+    assert abs(result.original_bytes - 16.4 * TiB) / (16.4 * TiB) < 0.02
+    assert abs(result.nonzero_bytes - 1.4 * TiB) / (1.4 * TiB) < 0.02
+    assert abs(result.caches_nonzero_bytes - 78.5 * GiB) / (78.5 * GiB) < 0.02
+    # the computed column: paper measured 15.1 GB — same ballpark required
+    assert 8 * GiB < result.caches_ccr_bytes < 25 * GiB

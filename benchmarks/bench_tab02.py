@@ -1,0 +1,10 @@
+"""Table 2: OS diversity census (Azure vs EC2)."""
+
+from repro.experiments import default_context, tab02_os_diversity as exp
+
+
+def test_tab02_os_diversity(benchmark, record_result):
+    result = benchmark.pedantic(exp.run, args=(default_context(),), rounds=1)
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    assert result.matches_paper
+    assert sum(result.azure_measured.values()) == 607

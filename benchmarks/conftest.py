@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Every bench runs its experiment once (``benchmark.pedantic`` with one round:
+these are end-to-end reproductions, not micro-benchmarks), prints the
+paper-style rendering, and archives it under ``benchmarks/results/``.
+
+Experiments share one memoising context (`repro.experiments.default_context`),
+so figures that reuse the same sweep (e.g. Figures 8-10) only pay for it
+once per pytest session; the first bench touching a sweep carries its cost.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write one experiment's rendering to disk and echo it."""
+
+    def _record(experiment_id: str, rendered: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(rendered + "\n")
+        print(f"\n{rendered}\n[saved to {path}]")
+
+    return _record

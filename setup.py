@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+PEP-517 editable installs (which require bdist_wheel) fail; this enables the
+classic `pip install -e .` path."""
+
+from setuptools import setup
+
+setup()

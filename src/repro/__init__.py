@@ -1,0 +1,18 @@
+"""Squirrel (HPDC'14) reproduction.
+
+Scatter hoarding VM image contents on IaaS compute nodes: store the
+deduplicated + compressed boot working set ("VMI cache") of every image of a
+data center on every compute node, eliminating VM-startup network traffic.
+
+Public entry points:
+
+* :mod:`repro.core` -- the Squirrel system (register / boot / deregister).
+* :mod:`repro.zfs` -- the ZFS-like storage substrate backing cVolumes.
+* :mod:`repro.vmi` -- procedural VM-image dataset (Windows Azure community mix).
+* :mod:`repro.boot` -- QCOW2/copy-on-read boot timing simulation.
+* :mod:`repro.net` -- data-center network / parallel-FS simulation.
+* :mod:`repro.analysis` -- metrics (dedup, CCR, cross-similarity) + curve fits.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

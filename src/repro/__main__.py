@@ -1,0 +1,121 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig02                # run one experiment, print the
+                                         # paper-style table/series
+    python -m repro all                  # run everything
+    python -m repro fig08 --scale 64     # dataset scale 1/64
+    python -m repro fig02 --quick 8      # keep every 8th image (smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    fig02_compression_ratio,
+    fig03_codecs,
+    fig04_ccr,
+    fig08_disk_consumption,
+    fig09_ddt_disk,
+    fig10_ddt_memory,
+    fig11_boot_time,
+    fig12_cross_similarity,
+    fig13_incremental,
+    fig18_network_transfer,
+    fits,
+    tab01_storage_chain,
+    tab02_os_diversity,
+)
+
+
+def _simple(module) -> Callable[[ExperimentContext], str]:
+    return lambda ctx: module.render(module.run(ctx))
+
+
+def _fits_disk(ctx: ExperimentContext) -> str:
+    result = fits.run_disk(ctx)
+    return "\n\n".join(
+        [
+            fits.render_fit_quality(result, figure="Figure 14"),
+            fits.render_rmse_table(result, table="Table 3"),
+            fits.render_extrapolation(result, figure="Figure 15"),
+        ]
+    )
+
+
+def _fits_memory(ctx: ExperimentContext) -> str:
+    result = fits.run_memory(ctx)
+    return "\n\n".join(
+        [
+            fits.render_fit_quality(result, figure="Figure 16"),
+            fits.render_rmse_table(result, table="Table 4"),
+            fits.render_extrapolation(result, figure="Figure 17"),
+        ]
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], str]]] = {
+    "tab01": ("Table 1: storage reduction chain @128 KB", _simple(tab01_storage_chain)),
+    "tab02": ("Table 2: OS diversity census", _simple(tab02_os_diversity)),
+    "fig02": ("Figure 2: dedup + gzip6 ratios", _simple(fig02_compression_ratio)),
+    "fig03": ("Figure 3: cache ratio per codec", _simple(fig03_codecs)),
+    "fig04": ("Figure 4: combined compression ratio", _simple(fig04_ccr)),
+    "fig08": ("Figure 8: ZFS disk consumption", _simple(fig08_disk_consumption)),
+    "fig09": ("Figure 9: DDT size on disk", _simple(fig09_ddt_disk)),
+    "fig10": ("Figure 10: DDT memory", _simple(fig10_ddt_memory)),
+    "fig11": ("Figure 11: boot times", _simple(fig11_boot_time)),
+    "fig12": ("Figure 12: cross-similarity", _simple(fig12_cross_similarity)),
+    "fig13": ("Figure 13: incremental consumption", _simple(fig13_incremental)),
+    "fig14": ("Figures 14/15 + Table 3: disk fits", _fits_disk),
+    "fig16": ("Figures 16/17 + Table 4: memory fits", _fits_memory),
+    "fig18": ("Figure 18: network transfer", _simple(fig18_network_transfer)),
+}
+#: aliases so every figure/table id resolves
+ALIASES = {"fig15": "fig14", "fig17": "fig16", "tab03": "fig14", "tab04": "fig16"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Squirrel (HPDC'14) reproduction experiments"
+    )
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument(
+        "--scale", type=float, default=32, help="dataset scale denominator (default 32)"
+    )
+    parser.add_argument(
+        "--quick", type=int, default=1, help="keep every N-th image (default 1)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (title, _) in EXPERIMENTS.items():
+            print(f"{key:8s} {title}")
+        print("aliases:", ", ".join(f"{k}->{v}" for k, v in ALIASES.items()))
+        return 0
+
+    ctx = ExperimentContext(
+        ExperimentConfig(scale=1.0 / args.scale, quick=max(1, args.quick))
+    )
+    wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in wanted:
+        key = ALIASES.get(name, name)
+        if key not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; try 'list'")
+        title, runner = EXPERIMENTS[key]
+        started = time.perf_counter()
+        print(f"== {title} ==")
+        print(runner(ctx))
+        print(f"[{time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Metrics, pool accounting, curve fitting and report rendering."""
+
+from .accounting import PoolAccountant, PoolSnapshot
+from .curvefit import (
+    CURVE_FITTERS,
+    FittedCurve,
+    SelectionResult,
+    fit_hoerl,
+    fit_linear,
+    fit_mmf,
+    rmse,
+    select_best_curve,
+)
+from .metrics import (
+    MetricsResult,
+    combined_compression_ratio,
+    compression_ratio,
+    cross_similarity,
+    dataset_metrics,
+    dedup_ratio,
+)
+from .report import Series, TextTable, render_series
+
+__all__ = [
+    "CURVE_FITTERS",
+    "FittedCurve",
+    "MetricsResult",
+    "PoolAccountant",
+    "PoolSnapshot",
+    "SelectionResult",
+    "Series",
+    "TextTable",
+    "combined_compression_ratio",
+    "compression_ratio",
+    "cross_similarity",
+    "dataset_metrics",
+    "dedup_ratio",
+    "fit_hoerl",
+    "fit_linear",
+    "fit_mmf",
+    "render_series",
+    "rmse",
+    "select_best_curve",
+]

@@ -1,0 +1,138 @@
+"""The paper's storage metrics (Sections 2.2 and 4.3.1).
+
+* **deduplication ratio** — ``|N| / |U|``: nonzero blocks over unique blocks
+  [12],
+* **compression ratio** — raw bytes over compressed bytes across the set of
+  *unique* blocks (the paper's Section 2.2 formula is written as the mean
+  compressed fraction, i.e. the reciprocal; its figures plot the
+  bigger-is-better orientation used here),
+* **combined compression ratio (CCR)** — their product,
+* **cross-similarity** — for every unique block, count the number of
+  *files* it appears in when that number is ≥ 2 ("repetition", else 0);
+  cross-similarity is ``Σ repetitions / Σ_i |U_i|``. 1 ⇔ all files
+  identical, 0 ⇔ no block shared between any two files.
+
+All functions consume :class:`~repro.vmi.streams.BlockView` objects and are
+single numpy passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..codecs import SizeEstimator
+from ..vmi.streams import BlockView
+
+__all__ = [
+    "MetricsResult",
+    "dedup_ratio",
+    "compression_ratio",
+    "combined_compression_ratio",
+    "cross_similarity",
+    "dataset_metrics",
+]
+
+
+@dataclass(frozen=True)
+class MetricsResult:
+    """All Section 2.2 / 4.3.1 metrics for one (dataset, block size) point."""
+
+    block_size: int
+    n_blocks: int  #: nonzero blocks |N|
+    n_unique: int  #: unique blocks |U|
+    dedup_ratio: float
+    compression_ratio: float
+    cross_similarity: float
+    unique_raw_bytes: int
+    unique_compressed_bytes: int
+
+    @property
+    def ccr(self) -> float:
+        """Combined compression ratio = dedup × compression (Section 2.2)."""
+        return self.dedup_ratio * self.compression_ratio
+
+
+def _nonzero_signatures(view: BlockView) -> np.ndarray:
+    return view.signatures[~view.is_hole]
+
+
+def dedup_ratio(views: Sequence[BlockView]) -> float:
+    """``|N| / |U|`` over the nonzero blocks of all views."""
+    sigs = np.concatenate([_nonzero_signatures(v) for v in views])
+    if sigs.size == 0:
+        return 1.0
+    return sigs.size / np.unique(sigs).size
+
+
+def compression_ratio(
+    views: Sequence[BlockView], estimator: SizeEstimator
+) -> float:
+    """Raw/compressed over the *unique* blocks of all views."""
+    raw, compressed = _unique_sizes(views, estimator)
+    return raw / compressed if compressed else 1.0
+
+
+def combined_compression_ratio(
+    views: Sequence[BlockView], estimator: SizeEstimator
+) -> float:
+    """CCR = dedup ratio x compression ratio (Section 2.2)."""
+    return dedup_ratio(views) * compression_ratio(views, estimator)
+
+
+def cross_similarity(views: Sequence[BlockView]) -> float:
+    """Block sharing across files (Section 4.3.1's metric)."""
+    per_file_unique = [
+        u for u in (np.unique(_nonzero_signatures(v)) for v in views) if u.size
+    ]
+    if not per_file_unique:
+        return 0.0
+    stacked = np.concatenate(per_file_unique)
+    _, counts = np.unique(stacked, return_counts=True)
+    repetitions = counts[counts >= 2].sum()
+    return float(repetitions) / float(stacked.size)
+
+
+def _unique_sizes(
+    views: Sequence[BlockView], estimator: SizeEstimator
+) -> tuple[int, int]:
+    """(raw bytes, compressed bytes) summed over unique nonzero blocks."""
+    sigs_parts, lsize_parts, psize_parts = [], [], []
+    for view in views:
+        mask = ~view.is_hole
+        sigs_parts.append(view.signatures[mask])
+        lsize_parts.append(view.lsizes[mask])
+        psize_parts.append(view.psizes(estimator)[mask])
+    sigs = np.concatenate(sigs_parts)
+    if sigs.size == 0:
+        return 0, 0
+    lsizes = np.concatenate(lsize_parts)
+    psizes = np.concatenate(psize_parts)
+    _, first_index = np.unique(sigs, return_index=True)
+    return int(lsizes[first_index].sum()), int(psizes[first_index].sum())
+
+
+def dataset_metrics(
+    views: Sequence[BlockView], estimator: SizeEstimator
+) -> MetricsResult:
+    """Every metric in one pass (shares the unique-block computation)."""
+    if not views:
+        raise ValueError("no views")
+    block_size = views[0].block_size
+    sigs = np.concatenate([_nonzero_signatures(v) for v in views])
+    n_unique = int(np.unique(sigs).size) if sigs.size else 0
+    raw, compressed = _unique_sizes(views, estimator)
+    dedup = sigs.size / n_unique if n_unique else 1.0
+    compression = raw / compressed if compressed else 1.0
+    return MetricsResult(
+        block_size=block_size,
+        n_blocks=int(sigs.size),
+        n_unique=n_unique,
+        dedup_ratio=float(dedup),
+        compression_ratio=float(compression),
+        cross_similarity=cross_similarity(views),
+        unique_raw_bytes=raw,
+        unique_compressed_bytes=compressed,
+    )

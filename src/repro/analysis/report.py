@@ -1,0 +1,87 @@
+"""Text rendering of tables and figure series.
+
+Benchmarks print the same rows/series the paper reports; these helpers keep
+that output consistent: fixed-width ASCII tables and x/y series blocks that
+read like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TextTable", "Series", "render_series"]
+
+
+@dataclass
+class TextTable:
+    """A fixed-width table with a title (e.g. ``Table 3``)."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.2f}"
+            return str(cell)
+
+        grid = [self.headers] + [[fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in grid) for i in range(len(self.headers))]
+        lines = [self.title, "-" * len(self.title)]
+        for index, row in enumerate(grid):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One line of a figure: a name and (x, y) points."""
+
+    name: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+
+def render_series(
+    title: str,
+    series: Sequence[Series],
+    *,
+    x_label: str = "x",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render figure series as a column-per-line table keyed by x."""
+    xs = sorted({x for s in series for x, _ in s.points})
+    lines = [title, "-" * len(title)]
+    name_width = max(len(x_label), *(len(s.name) for s in series)) if series else 8
+    header = x_label.ljust(name_width) + "".join(f"{x:>12g}" for x in xs)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for s in series:
+        lookup = dict(s.points)
+        cells = "".join(
+            f"{y_format.format(lookup[x]):>12}" if x in lookup else f"{'-':>12}"
+            for x in xs
+        )
+        lines.append(s.name.ljust(name_width) + cells)
+    return "\n".join(lines)

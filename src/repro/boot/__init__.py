@@ -1,0 +1,24 @@
+"""Boot simulation: QCOW2 chains, copy-on-read caches, page cache, timing."""
+
+from .backends import CVolumeBackend, XfsFileBackend, ZfsCostModel
+from .bootsim import BOOT_CONFIGS, BootResult, BootSimulator
+from .pagecache import PAGE_SIZE, PageCache
+from .qcow2 import Qcow2Image
+from .trace import BootTrace, OpKind, TraceConfig, TraceOp, generate_boot_trace
+
+__all__ = [
+    "BOOT_CONFIGS",
+    "PAGE_SIZE",
+    "BootResult",
+    "BootSimulator",
+    "BootTrace",
+    "CVolumeBackend",
+    "OpKind",
+    "PageCache",
+    "Qcow2Image",
+    "TraceConfig",
+    "TraceOp",
+    "XfsFileBackend",
+    "ZfsCostModel",
+    "generate_boot_trace",
+]

@@ -1,0 +1,85 @@
+"""Host (Linux) page-cache model.
+
+A byte-budgeted LRU of 4 KB pages keyed by ``(file_id, page_index)``. The
+paper's "free prefetch" effect (Section 4.2.3) rides on this cache: QCOW2
+turns small guest reads into 64 KB cluster-sized reads of the backing file,
+the host page cache keeps the whole cluster, and neighbouring boot-working-
+set sectors are served from memory moments later.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["PageCache", "PAGE_SIZE"]
+
+PAGE_SIZE: int = 4096
+
+
+class PageCache:
+    """LRU page cache over (file, page) keys."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < PAGE_SIZE:
+            raise ValueError("page cache needs at least one page")
+        self.capacity_pages = capacity_bytes // PAGE_SIZE
+        self._pages: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, file_id: int, offset: int, length: int) -> list[tuple[int, int]]:
+        """Touch a byte range; returns the missing (sub-)ranges.
+
+        Present pages are refreshed (LRU); missing pages are returned as
+        coalesced ``(offset, length)`` ranges and inserted (the caller is
+        assumed to read them).
+        """
+        if length <= 0:
+            return []
+        first = offset // PAGE_SIZE
+        last = (offset + length - 1) // PAGE_SIZE
+        missing_pages: list[int] = []
+        for page in range(first, last + 1):
+            key = (file_id, page)
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+                missing_pages.append(page)
+                self._pages[key] = None
+                if len(self._pages) > self.capacity_pages:
+                    self._pages.popitem(last=False)
+        return _coalesce(missing_pages)
+
+    def contains(self, file_id: int, offset: int) -> bool:
+        return (file_id, offset // PAGE_SIZE) in self._pages
+
+    def drop(self) -> None:
+        """``echo 3 > drop_caches`` — used between measured boots."""
+        self._pages.clear()
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _coalesce(pages: list[int]) -> list[tuple[int, int]]:
+    """Merge consecutive page indices into (offset, length) byte ranges."""
+    if not pages:
+        return []
+    ranges: list[tuple[int, int]] = []
+    run_start = pages[0]
+    prev = pages[0]
+    for page in pages[1:]:
+        if page != prev + 1:
+            ranges.append((run_start * PAGE_SIZE, (prev - run_start + 1) * PAGE_SIZE))
+            run_start = page
+        prev = page
+    ranges.append((run_start * PAGE_SIZE, (prev - run_start + 1) * PAGE_SIZE))
+    return ranges

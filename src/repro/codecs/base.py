@@ -1,0 +1,83 @@
+"""Codec interface and registry.
+
+The paper evaluates ZFS inline compression with gzip-6, gzip-9, lzjb and lz4
+(Figure 3). Each is a :class:`Codec`; experiments look codecs up by the names
+used in the paper ("gzip6", "gzip9", "lzjb", "lz4").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..common.errors import CodecError
+
+__all__ = ["Codec", "register_codec", "get_codec", "available_codecs"]
+
+
+class Codec(ABC):
+    """A block compressor.
+
+    Implementations must be deterministic and must round-trip:
+    ``decompress(compress(data)) == data`` for any ``bytes`` input.
+    """
+
+    #: registry key, e.g. ``"gzip6"``.
+    name: str = ""
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` and return the compressed payload."""
+
+    @abstractmethod
+    def decompress(self, payload: bytes, original_size: int) -> bytes:
+        """Invert :meth:`compress`. ``original_size`` is the uncompressed length."""
+
+    def compressed_size(self, data: bytes) -> int:
+        """Size of the compressed payload.
+
+        The default implementation compresses and measures; codecs with a
+        cheaper size-only path may override.
+        """
+        return len(self.compress(data))
+
+    def effective_size(self, data: bytes) -> int:
+        """Bytes the pool would allocate for this block.
+
+        ZFS stores a block uncompressed when compression does not save at
+        least 12.5 % (one sector in eight); this mirrors that rule so
+        incompressible data never inflates.
+        """
+        compressed = self.compressed_size(data)
+        if compressed >= len(data) - (len(data) >> 3):
+            return len(data)
+        return compressed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Codec {self.name}>"
+
+
+_REGISTRY: dict[str, Callable[[], Codec]] = {}
+_INSTANCES: dict[str, Codec] = {}
+
+
+def register_codec(name: str, factory: Callable[[], Codec]) -> None:
+    """Register a codec factory under ``name`` (idempotent for same factory)."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise CodecError(f"codec {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_codec(name: str) -> Codec:
+    """Return the shared codec instance registered under ``name``."""
+    if name not in _REGISTRY:
+        raise CodecError(f"unknown codec {name!r}; available: {sorted(_REGISTRY)}")
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _REGISTRY[name]()
+    return _INSTANCES[name]
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,144 @@
+"""Calibrated compressed-size estimation for accounting-scale sweeps.
+
+Really compressing every unique block of a 600-image dataset at eleven block
+sizes would dominate experiment runtime in pure Python. Instead, experiments
+compress a *sample* of procedurally generated blocks per (content class,
+block size) once, fit the mean compression ratio, and reuse it for millions
+of blocks. The estimator is purely empirical — no hand-tuned ratios — so the
+codec ordering (gzip9 <= gzip6 < lz4 < lzjb in output size) and the
+block-size trend (bigger blocks compress better) come from the codecs
+themselves.
+
+A dedicated ablation benchmark (``benchmarks/bench_ablation_estimator.py``)
+quantifies the estimator's per-block error against exact codec output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from .base import Codec
+
+__all__ = ["SizeEstimator", "CalibrationPoint"]
+
+#: signature of the sample generator: (class_id, block_size, rng) -> sample block bytes
+SampleFn = Callable[[int, int, np.random.Generator], bytes]
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """Measured mean compression ratio for one (class, block size) cell."""
+
+    class_id: int
+    block_size: int
+    ratio: float  # compressed bytes / raw bytes, in (0, 1]
+    samples: int
+
+
+@dataclass
+class SizeEstimator:
+    """Per-content-class compressed-size model for one codec.
+
+    Build with :meth:`calibrate`. ``ratio(class_id, block_size)`` then returns
+    the empirical mean compressed fraction; :meth:`estimate_blocks` applies it
+    vectorised to per-block class-composition matrices.
+    """
+
+    codec_name: str
+    block_sizes: tuple[int, ...]
+    class_ids: tuple[int, ...]
+    _table: np.ndarray = field(repr=False)  # shape (n_classes, n_block_sizes)
+    points: tuple[CalibrationPoint, ...] = field(default=(), repr=False)
+
+    @classmethod
+    def calibrate(
+        cls,
+        codec: Codec,
+        class_ids: Sequence[int],
+        block_sizes: Sequence[int],
+        sample_fn: SampleFn,
+        rng: np.random.Generator,
+        samples_per_point: int = 6,
+    ) -> "SizeEstimator":
+        """Measure mean compression ratios by really compressing samples."""
+        if samples_per_point < 1:
+            raise ConfigError("samples_per_point must be >= 1")
+        class_ids = tuple(class_ids)
+        block_sizes = tuple(sorted(block_sizes))
+        table = np.ones((len(class_ids), len(block_sizes)))
+        points: list[CalibrationPoint] = []
+        for ci, class_id in enumerate(class_ids):
+            for bi, block_size in enumerate(block_sizes):
+                total_raw = 0
+                total_compressed = 0
+                for _ in range(samples_per_point):
+                    block = sample_fn(class_id, block_size, rng)
+                    if len(block) != block_size:
+                        raise ConfigError(
+                            f"sample_fn returned {len(block)} bytes, expected {block_size}"
+                        )
+                    total_raw += block_size
+                    total_compressed += codec.effective_size(block)
+                ratio = total_compressed / total_raw
+                table[ci, bi] = ratio
+                points.append(
+                    CalibrationPoint(class_id, block_size, ratio, samples_per_point)
+                )
+        return cls(
+            codec_name=codec.name,
+            block_sizes=block_sizes,
+            class_ids=class_ids,
+            _table=table,
+            points=tuple(points),
+        )
+
+    def _block_size_index(self, block_size: int) -> int:
+        try:
+            return self.block_sizes.index(block_size)
+        except ValueError:
+            raise ConfigError(
+                f"block size {block_size} not calibrated; have {self.block_sizes}"
+            ) from None
+
+    def ratio(self, class_id: int, block_size: int) -> float:
+        """Empirical compressed fraction for a pure-class block."""
+        try:
+            ci = self.class_ids.index(class_id)
+        except ValueError:
+            raise ConfigError(f"class {class_id} not calibrated") from None
+        return float(self._table[ci, self._block_size_index(block_size)])
+
+    def class_ratios(self, block_size: int) -> np.ndarray:
+        """Vector of ratios for all calibrated classes at ``block_size``."""
+        return self._table[:, self._block_size_index(block_size)].copy()
+
+    def estimate_blocks(
+        self,
+        class_fractions: np.ndarray,
+        block_size: int,
+        *,
+        min_alloc: int = 512,
+    ) -> np.ndarray:
+        """Estimate compressed sizes for many blocks at once.
+
+        ``class_fractions`` has shape ``(n_blocks, n_classes)`` with each row
+        summing to <= 1 (rows may sum below 1 when part of the block is a
+        hole; holes contribute zero bytes). Results are clipped to
+        ``[min_alloc, block_size]``: a stored block never beats one sector and
+        never exceeds its raw size (ZFS stores raw when compression loses).
+        """
+        fractions = np.asarray(class_fractions, dtype=np.float64)
+        if fractions.ndim != 2 or fractions.shape[1] != len(self.class_ids):
+            raise ConfigError(
+                f"class_fractions must be (n_blocks, {len(self.class_ids)}), "
+                f"got {fractions.shape}"
+            )
+        ratios = self._table[:, self._block_size_index(block_size)]
+        sizes = fractions @ ratios * block_size
+        nonempty = fractions.sum(axis=1) > 0
+        sizes = np.where(nonempty, np.clip(sizes, min_alloc, block_size), 0.0)
+        return np.rint(sizes).astype(np.int64)

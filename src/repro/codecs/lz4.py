@@ -1,0 +1,175 @@
+"""LZ4 block format, implemented from scratch.
+
+Produces and consumes the real LZ4 *block* format (the format ZFS embeds in
+records, minus ZFS's 4-byte size header): a stream of sequences, each
+
+``[token: hi=literal-length, lo=match-length-4]``
+``[literal-length extension bytes (0xFF...)] [literals]``
+``[little-endian 16-bit match offset] [match-length extension bytes]``
+
+ending with a literals-only sequence. The encoder follows the reference
+"fast" parser: a 4-byte hash table, greedy match extension, and the spec's
+end-of-block restrictions (last 5 bytes are literals; no match starts within
+the last 12 bytes).
+"""
+
+from __future__ import annotations
+
+from ..common.errors import CodecError
+from .base import Codec, register_codec
+
+__all__ = ["Lz4Codec", "lz4_compress", "lz4_decompress"]
+
+_MIN_MATCH = 4
+_HASH_LOG = 16
+_MAX_OFFSET = 65535
+#: spec: the last match must start at least this many bytes before the end.
+_MF_LIMIT = 12
+#: spec: the last 5 bytes are always literals.
+_LAST_LITERALS = 5
+
+
+def _hash4(word: int) -> int:
+    return (word * 2654435761) >> (32 - _HASH_LOG) & ((1 << _HASH_LOG) - 1)
+
+
+def _write_length(dst: bytearray, length: int) -> None:
+    while length >= 255:
+        dst.append(255)
+        length -= 255
+    dst.append(length)
+
+
+def lz4_compress(src: bytes) -> bytes:
+    """Compress ``src`` into LZ4 block format."""
+    n = len(src)
+    dst = bytearray()
+    if n == 0:
+        dst.append(0)  # single empty-literal token
+        return bytes(dst)
+    if n < _MF_LIMIT + 1:
+        _emit_sequence(dst, src, 0, n, None, 0)
+        return bytes(dst)
+
+    table = [-1] * (1 << _HASH_LOG)
+    anchor = 0
+    i = 0
+    match_limit = n - _MF_LIMIT
+    while i < match_limit:
+        word = int.from_bytes(src[i : i + 4], "little")
+        h = _hash4(word)
+        candidate = table[h]
+        table[h] = i
+        if (
+            candidate >= 0
+            and i - candidate <= _MAX_OFFSET
+            and src[candidate : candidate + 4] == src[i : i + 4]
+        ):
+            # extend the match forward, but never into the last-5-bytes zone
+            match_len = _MIN_MATCH
+            limit = n - _LAST_LITERALS
+            while i + match_len < limit and src[candidate + match_len] == src[i + match_len]:
+                match_len += 1
+            _emit_sequence(dst, src, anchor, i - anchor, i - candidate, match_len)
+            i += match_len
+            anchor = i
+        else:
+            i += 1
+    _emit_sequence(dst, src, anchor, n - anchor, None, 0)
+    return bytes(dst)
+
+
+def _emit_sequence(
+    dst: bytearray,
+    src: bytes,
+    literal_start: int,
+    literal_len: int,
+    offset: int | None,
+    match_len: int,
+) -> None:
+    """Emit one sequence; ``offset is None`` marks the final literals-only run."""
+    lit_token = literal_len if literal_len < 15 else 15
+    if offset is None:
+        dst.append(lit_token << 4)
+        if lit_token == 15:
+            _write_length(dst, literal_len - 15)
+        dst += src[literal_start : literal_start + literal_len]
+        return
+    mlen = match_len - _MIN_MATCH
+    match_token = mlen if mlen < 15 else 15
+    dst.append((lit_token << 4) | match_token)
+    if lit_token == 15:
+        _write_length(dst, literal_len - 15)
+    dst += src[literal_start : literal_start + literal_len]
+    dst += offset.to_bytes(2, "little")
+    if match_token == 15:
+        _write_length(dst, mlen - 15)
+
+
+def lz4_decompress(payload: bytes, original_size: int) -> bytes:
+    """Decompress LZ4 block format."""
+    dst = bytearray()
+    i = 0
+    n = len(payload)
+    while True:
+        if i >= n:
+            raise CodecError("lz4 stream truncated at token")
+        token = payload[i]
+        i += 1
+        literal_len = token >> 4
+        if literal_len == 15:
+            while True:
+                if i >= n:
+                    raise CodecError("lz4 stream truncated in literal length")
+                extra = payload[i]
+                i += 1
+                literal_len += extra
+                if extra != 255:
+                    break
+        if i + literal_len > n:
+            raise CodecError("lz4 literals run past end of stream")
+        dst += payload[i : i + literal_len]
+        i += literal_len
+        if i == n:
+            break  # final literals-only sequence
+        if i + 2 > n:
+            raise CodecError("lz4 stream truncated at offset")
+        offset = int.from_bytes(payload[i : i + 2], "little")
+        i += 2
+        if offset == 0:
+            raise CodecError("lz4 zero match offset is invalid")
+        match_len = (token & 0x0F) + _MIN_MATCH
+        if (token & 0x0F) == 15:
+            while True:
+                if i >= n:
+                    raise CodecError("lz4 stream truncated in match length")
+                extra = payload[i]
+                i += 1
+                match_len += extra
+                if extra != 255:
+                    break
+        start = len(dst) - offset
+        if start < 0:
+            raise CodecError("lz4 match reaches before start of output")
+        for k in range(match_len):  # may overlap, so byte-at-a-time semantics
+            dst.append(dst[start + k])
+    if len(dst) != original_size:
+        raise CodecError(
+            f"lz4 round-trip size mismatch: expected {original_size}, got {len(dst)}"
+        )
+    return bytes(dst)
+
+
+class Lz4Codec(Codec):
+    """LZ4 block-format codec (see module docstring)."""
+
+    name = "lz4"
+
+    def compress(self, data: bytes) -> bytes:
+        return lz4_compress(data)
+
+    def decompress(self, payload: bytes, original_size: int) -> bytes:
+        return lz4_decompress(payload, original_size)
+
+
+register_codec("lz4", Lz4Codec)

@@ -1,0 +1,132 @@
+"""LZJB — ZFS's historical default compressor, implemented from scratch.
+
+LZJB (Jeff Bonwick's Lempel-Ziv variant) is a byte-oriented LZ77 coder with a
+1024-entry hash table, 3..66-byte matches, and 10-bit offsets. Every group of
+eight items (literals or copy tokens) is preceded by a *copymap* byte whose
+bits flag which items are copies.
+
+This is a faithful port of the algorithm in ``usr/src/uts/common/fs/zfs/lzjb.c``
+(OpenSolaris / illumos), kept in pure Python: it is used for calibration
+sampling and unit tests, not bulk data paths.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import CodecError
+from .base import Codec, register_codec
+
+__all__ = ["LzjbCodec", "lzjb_compress", "lzjb_decompress"]
+
+_MATCH_BITS = 6
+_MATCH_MIN = 3
+_MATCH_MAX = (1 << _MATCH_BITS) + (_MATCH_MIN - 1)  # 66
+_OFFSET_MASK = (1 << (16 - _MATCH_BITS)) - 1  # 1023
+_LEMPEL_SIZE = 1024
+
+
+def lzjb_compress(src: bytes) -> bytes:
+    """Compress ``src`` with LZJB.
+
+    Unlike the kernel version (which bails out once output >= input and lets
+    ZFS store the block raw), this always produces a decodable stream; the
+    store-raw decision lives in :meth:`Codec.effective_size`.
+    """
+    n = len(src)
+    dst = bytearray()
+    lempel = [0] * _LEMPEL_SIZE
+    copymask = 1 << 7  # force new copymap on first item
+    copymap_pos = 0
+    i = 0
+    while i < n:
+        copymask <<= 1
+        if copymask == (1 << 8):
+            copymask = 1
+            copymap_pos = len(dst)
+            dst.append(0)
+        if i > n - _MATCH_MIN:
+            dst.append(src[i])
+            i += 1
+            continue
+        hsh = (src[i] << 16) + (src[i + 1] << 8) + src[i + 2]
+        hsh += hsh >> 9
+        hsh += hsh >> 5
+        hp = hsh & (_LEMPEL_SIZE - 1)
+        offset = (i - lempel[hp]) & _OFFSET_MASK
+        lempel[hp] = i
+        cpy = i - offset
+        if (
+            cpy >= 0
+            and cpy != i
+            and src[i] == src[cpy]
+            and src[i + 1] == src[cpy + 1]
+            and src[i + 2] == src[cpy + 2]
+        ):
+            dst[copymap_pos] |= copymask
+            mlen = _MATCH_MIN
+            limit = min(_MATCH_MAX, n - i)
+            while mlen < limit and src[i + mlen] == src[cpy + mlen]:
+                mlen += 1
+            dst.append(((mlen - _MATCH_MIN) << (8 - _MATCH_BITS)) | (offset >> 8))
+            dst.append(offset & 0xFF)
+            i += mlen
+        else:
+            dst.append(src[i])
+            i += 1
+    return bytes(dst)
+
+
+def lzjb_decompress(payload: bytes, original_size: int) -> bytes:
+    """Invert :func:`lzjb_compress`."""
+    dst = bytearray()
+    src = payload
+    i = 0
+    n = len(src)
+    copymask = 1 << 7
+    copymap = 0
+    while len(dst) < original_size:
+        if i >= n:
+            raise CodecError("lzjb stream truncated")
+        copymask <<= 1
+        if copymask == (1 << 8):
+            copymask = 1
+            copymap = src[i]
+            i += 1
+            if i >= n:
+                raise CodecError("lzjb stream truncated after copymap")
+        if copymap & copymask:
+            if i + 1 >= n:
+                raise CodecError("lzjb stream truncated inside copy token")
+            mlen = (src[i] >> (8 - _MATCH_BITS)) + _MATCH_MIN
+            offset = ((src[i] << 8) | src[i + 1]) & _OFFSET_MASK
+            i += 2
+            cpy = len(dst) - offset
+            if cpy < 0:
+                raise CodecError("lzjb copy reaches before start of output")
+            for _ in range(mlen):
+                if len(dst) >= original_size:
+                    break
+                dst.append(dst[cpy])
+                cpy += 1
+        else:
+            dst.append(src[i])
+            i += 1
+    if len(dst) != original_size:
+        raise CodecError(
+            f"lzjb round-trip size mismatch: expected {original_size}, got {len(dst)}"
+        )
+    return bytes(dst)
+
+
+class LzjbCodec(Codec):
+    """ZFS LZJB codec (see module docstring)."""
+
+    name = "lzjb"
+
+    def compress(self, data: bytes) -> bytes:
+        return lzjb_compress(data)
+
+    def decompress(self, payload: bytes, original_size: int) -> bytes:
+        return lzjb_decompress(payload, original_size)
+
+
+register_codec("lzjb", LzjbCodec)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Squirrel reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+distinguish simulator-model errors from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class CodecError(ReproError):
+    """A compression codec failed to compress or decompress."""
+
+
+class StorageError(ReproError):
+    """Base class for ZFS-substrate errors."""
+
+
+class PoolFullError(StorageError):
+    """The storage pool has no free space for an allocation."""
+
+
+class ObjectNotFoundError(StorageError):
+    """A dataset, object, or snapshot name did not resolve."""
+
+
+class SnapshotError(StorageError):
+    """Snapshot creation, deletion, or diffing failed."""
+
+
+class SendStreamError(StorageError):
+    """An incremental send stream could not be generated or applied."""
+
+
+class ImageError(ReproError):
+    """A virtual machine image operation failed."""
+
+
+class BootError(ReproError):
+    """The boot simulator hit an inconsistent state."""
+
+
+class NetworkError(ReproError):
+    """The network/cluster simulator hit an inconsistent state."""
+
+
+class RegistrationError(ReproError):
+    """A Squirrel register/deregister operation failed."""
+
+
+class FitError(ReproError):
+    """Curve fitting failed to converge or was given unusable data."""

@@ -1,0 +1,131 @@
+"""The IaaS cluster Squirrel deploys into.
+
+Mirrors the paper's evaluation setup (Sections 3.1, 4.4): storage nodes run
+an off-the-shelf parallel file system (glusterfs, striped 2× / replicated 2×)
+holding the base VMIs plus the scVolume; every compute node runs a local
+ZFS pool hosting its ccVolume. All byte movement goes through one shared
+:class:`~repro.net.TransferLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import NetworkError
+from ..common.units import GiB, SQUIRREL_BLOCK_SIZE
+from ..net import GBE_1, GlusterVolume, LinkProfile, Node, NodeKind, TransferLedger
+from ..zfs import Dataset, ZPool
+
+__all__ = ["ComputeNode", "StorageTier", "IaaSCluster", "CCVOLUME", "SCVOLUME"]
+
+CCVOLUME = "ccvol"
+SCVOLUME = "scvol"
+
+
+@dataclass
+class ComputeNode:
+    """One compute node: NIC + local pool with the ccVolume."""
+
+    node: Node
+    pool: ZPool
+    online: bool = True
+    #: name of the newest scVolume snapshot this node has received
+    synced_snapshot: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def ccvolume(self) -> Dataset:
+        return self.pool.dataset(CCVOLUME)
+
+
+@dataclass
+class StorageTier:
+    """The storage side: parallel FS + the scVolume's pool."""
+
+    nodes: list[Node]
+    gluster: GlusterVolume
+    pool: ZPool  #: hosts the scVolume (lives on the storage tier)
+
+    @property
+    def scvolume(self) -> Dataset:
+        return self.pool.dataset(SCVOLUME)
+
+    @property
+    def primary(self) -> Node:
+        return self.nodes[0]
+
+
+@dataclass
+class IaaSCluster:
+    """Compute + storage nodes sharing one transfer ledger."""
+
+    compute: list[ComputeNode]
+    storage: StorageTier
+    ledger: TransferLedger
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        n_compute: int = 64,
+        n_storage: int = 4,
+        block_size: int = SQUIRREL_BLOCK_SIZE,
+        compression: str = "gzip6",
+        link: LinkProfile = GBE_1,
+        stripe_count: int = 2,
+        replica_count: int = 2,
+        pool_capacity: int = 1024 * GiB,
+    ) -> "IaaSCluster":
+        """Assemble a cluster in the paper's shape (64 compute + 4 storage)."""
+        if n_compute < 1:
+            raise NetworkError("need at least one compute node")
+        ledger = TransferLedger()
+        storage_nodes = [
+            Node(f"storage{i}", NodeKind.STORAGE, link) for i in range(n_storage)
+        ]
+        gluster = GlusterVolume(
+            storage_nodes,
+            stripe_count=stripe_count,
+            replica_count=replica_count,
+            ledger=ledger,
+        )
+        storage_pool = ZPool("scpool", capacity=pool_capacity, store_payloads=False)
+        storage_pool.create_dataset(
+            SCVOLUME, record_size=block_size, compression=compression, dedup=True
+        )
+        compute = []
+        for i in range(n_compute):
+            pool = ZPool(
+                f"ccpool-{i}", capacity=pool_capacity, store_payloads=False
+            )
+            pool.create_dataset(
+                CCVOLUME, record_size=block_size, compression=compression, dedup=True
+            )
+            compute.append(
+                ComputeNode(Node(f"compute{i}", NodeKind.COMPUTE, link), pool)
+            )
+        return cls(
+            compute=compute,
+            storage=StorageTier(storage_nodes, gluster, storage_pool),
+            ledger=ledger,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def online_nodes(self) -> list[ComputeNode]:
+        return [node for node in self.compute if node.online]
+
+    def node(self, name: str) -> ComputeNode:
+        for node in self.compute:
+            if node.name == name:
+                return node
+        raise NetworkError(f"no compute node {name!r}")
+
+    def compute_ingress_bytes(self, *, purpose: str | None = None) -> int:
+        """Figure 18's metric over this cluster's compute nodes."""
+        return self.ledger.compute_ingress_bytes(
+            [node.node for node in self.compute], purpose=purpose
+        )

@@ -1,0 +1,6 @@
+"""Rotational disk / RAID-0 service-time models (DAS-4 node storage)."""
+
+from .model import DAS4_DISK, DAS4_RAID0, DiskModel, DiskProfile
+from .streams import MultiStreamDisk
+
+__all__ = ["DAS4_DISK", "DAS4_RAID0", "DiskModel", "DiskProfile", "MultiStreamDisk"]

@@ -1,0 +1,116 @@
+"""Rotational disk service-time model.
+
+The DAS-4/VU nodes the paper evaluates on have two 7200 RPM SATA disks in
+software RAID-0 (Section 4). Boot performance (Figure 11) hinges on how the
+disk serves the access pattern: deduplication scatters logically adjacent
+blocks across the platter, turning sequential boot reads into seeks
+(Section 4.2.3, citing [14]).
+
+The model charges, per request:
+
+* average seek cost scaled by how far the head travels (short seeks are
+  cheaper than full-stroke seeks — a standard piecewise model),
+* half-rotation latency on any non-contiguous access,
+* transfer time at the sustained sequential rate.
+
+RAID-0 striping over two spindles doubles streaming bandwidth and lets two
+outstanding requests proceed in parallel on average; modelled as a bandwidth
+multiplier and a seek-cost divisor of the stripe count for independent
+requests, which is what software RAID-0 gives a single-threaded reader
+issuing readahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.units import MiB
+
+__all__ = ["DiskModel", "DiskProfile", "DAS4_DISK", "DAS4_RAID0"]
+
+
+@dataclass(frozen=True)
+class DiskProfile:
+    """Static parameters of one spindle (or striped set)."""
+
+    name: str
+    avg_seek_s: float  #: average (1/3-stroke) seek time
+    full_stroke_s: float  #: worst-case seek time
+    rotational_latency_s: float  #: half-rotation at the spindle speed
+    sequential_bw: float  #: sustained transfer rate, bytes/s
+    track_skip_s: float = 0.0005  #: head/settle cost of a minimal seek
+    #: offsets within this distance of the head are "contiguous enough" to
+    #: be served by drive readahead without a mechanical seek
+    contiguity_window: int = 256 * 1024
+
+
+#: One WD 1 TB 7200 RPM SATA disk (DAS-4/VU node disk).
+DAS4_DISK = DiskProfile(
+    name="wd-1tb-7200",
+    avg_seek_s=0.0089,
+    full_stroke_s=0.021,
+    rotational_latency_s=0.00417,  # 60 / 7200 / 2
+    sequential_bw=110 * MiB,
+)
+
+#: Two of them in software RAID-0 (the paper's node configuration).
+DAS4_RAID0 = DiskProfile(
+    name="das4-raid0",
+    avg_seek_s=0.0089 / 2,  # two heads service independent requests
+    full_stroke_s=0.021 / 2,
+    rotational_latency_s=0.00417,
+    sequential_bw=2 * 110 * MiB,
+)
+
+
+class DiskModel:
+    """Stateful service-time model: tracks head position between requests."""
+
+    def __init__(self, profile: DiskProfile, *, span_bytes: int = 1 << 40) -> None:
+        if span_bytes <= 0:
+            raise ValueError("disk span must be positive")
+        self.profile = profile
+        self.span_bytes = span_bytes
+        self._head = 0
+        self.total_requests = 0
+        self.total_seeks = 0
+        self.total_time_s = 0.0
+        self.total_bytes = 0
+
+    def reset_counters(self) -> None:
+        self.total_requests = 0
+        self.total_seeks = 0
+        self.total_time_s = 0.0
+        self.total_bytes = 0
+
+    def seek_time(self, from_offset: int, to_offset: int) -> float:
+        """Mechanical positioning cost for a head move (0 when contiguous)."""
+        distance = abs(to_offset - from_offset)
+        if distance <= self.profile.contiguity_window:
+            return 0.0
+        fraction = min(1.0, distance / self.span_bytes)
+        # piecewise-linear-ish: short seeks cost near track_skip, long ones
+        # approach full stroke through the average at ~1/3 stroke
+        seek = self.profile.track_skip_s + (
+            self.profile.full_stroke_s - self.profile.track_skip_s
+        ) * (fraction ** 0.5)
+        return min(seek, self.profile.full_stroke_s) + self.profile.rotational_latency_s
+
+    def read(self, offset: int, size: int) -> float:
+        """Serve one read; returns elapsed seconds and advances the head."""
+        if size < 0:
+            raise ValueError("read size must be non-negative")
+        positioning = self.seek_time(self._head, offset)
+        transfer = size / self.profile.sequential_bw
+        self._head = offset + size
+        elapsed = positioning + transfer
+        self.total_requests += 1
+        if positioning > 0.0:
+            self.total_seeks += 1
+        self.total_time_s += elapsed
+        self.total_bytes += size
+        return elapsed
+
+    @property
+    def head_offset(self) -> int:
+        return self._head

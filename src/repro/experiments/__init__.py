@@ -1,0 +1,44 @@
+"""One module per paper table/figure, over a shared memoising context.
+
+Each experiment module exposes ``run(ctx) -> result`` and
+``render(result) -> str`` printing the same rows/series the paper reports.
+"""
+
+from . import (
+    fig02_compression_ratio,
+    fig03_codecs,
+    fig04_ccr,
+    fig08_disk_consumption,
+    fig09_ddt_disk,
+    fig10_ddt_memory,
+    fig11_boot_time,
+    fig12_cross_similarity,
+    fig13_incremental,
+    fig18_network_transfer,
+    fits,
+    tab01_storage_chain,
+    tab02_os_diversity,
+)
+from .context import ExperimentConfig, ExperimentContext, default_context
+from .zfs_consumption import ConsumptionTrajectory, consumption
+
+__all__ = [
+    "ConsumptionTrajectory",
+    "ExperimentConfig",
+    "ExperimentContext",
+    "consumption",
+    "default_context",
+    "fig02_compression_ratio",
+    "fig03_codecs",
+    "fig04_ccr",
+    "fig08_disk_consumption",
+    "fig09_ddt_disk",
+    "fig10_ddt_memory",
+    "fig11_boot_time",
+    "fig12_cross_similarity",
+    "fig13_incremental",
+    "fig18_network_transfer",
+    "fits",
+    "tab01_storage_chain",
+    "tab02_os_diversity",
+]

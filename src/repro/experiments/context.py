@@ -1,0 +1,120 @@
+"""Shared experiment context: dataset, streams, estimators, metric memo.
+
+Every figure/table experiment pulls from one :class:`ExperimentContext`, so
+a full benchmark run synthesises the dataset once, folds block views once
+per (subject, block size), and calibrates each codec's estimator once.
+
+Environment knobs (read by :func:`default_context`):
+
+* ``REPRO_SCALE``  — dataset scale denominator (default 32 → scale 1/32),
+* ``REPRO_QUICK``  — when set to N>1, keep every N-th image (quick smoke
+  runs; EXPERIMENTS.md numbers are produced without it).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..analysis import MetricsResult, dataset_metrics
+from ..codecs import SizeEstimator
+from ..common.units import ANALYSIS_BLOCK_SIZES
+from ..vmi import (
+    AzureCommunityDataset,
+    DatasetConfig,
+    block_view,
+    cache_stream,
+    image_stream,
+    make_estimator,
+)
+from ..vmi.streams import BlockView
+
+__all__ = ["ExperimentConfig", "ExperimentContext", "default_context", "Subject"]
+
+Subject = Literal["caches", "images"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Experiment-wide knobs."""
+
+    scale: float = 1.0 / 32.0
+    quick: int = 1  #: keep every quick-th image (1 = all 607)
+    calibration_samples: int = 4
+
+
+class ExperimentContext:
+    """Lazily built, memoising experiment state."""
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._dataset: AzureCommunityDataset | None = None
+        self._streams: dict[Subject, list[np.ndarray]] = {}
+        self._metrics_memo: dict[tuple[Subject, str, int], MetricsResult] = {}
+
+    # -- dataset and streams -----------------------------------------------------
+
+    @property
+    def dataset(self) -> AzureCommunityDataset:
+        if self._dataset is None:
+            self._dataset = AzureCommunityDataset(
+                DatasetConfig(scale=self.config.scale)
+            )
+        return self._dataset
+
+    @property
+    def specs(self):
+        return self.dataset.images[:: self.config.quick]
+
+    def streams(self, subject: Subject) -> list[np.ndarray]:
+        """All grain streams of a subject (built once, retained)."""
+        if subject not in self._streams:
+            builder = cache_stream if subject == "caches" else image_stream
+            self._streams[subject] = [builder(spec) for spec in self.specs]
+        return self._streams[subject]
+
+    def views(self, subject: Subject, block_size: int) -> list[BlockView]:
+        """Block views of a subject at one block size (not retained)."""
+        return [block_view(s, block_size) for s in self.streams(subject)]
+
+    # -- estimators ----------------------------------------------------------------
+
+    def estimator(
+        self, codec: str = "gzip6", block_sizes: Sequence[int] = ANALYSIS_BLOCK_SIZES
+    ) -> SizeEstimator:
+        return make_estimator(
+            codec,
+            block_sizes,
+            samples_per_point=self.config.calibration_samples,
+        )
+
+    # -- memoised metrics ------------------------------------------------------------
+
+    def metrics(
+        self, subject: Subject, block_size: int, codec: str = "gzip6"
+    ) -> MetricsResult:
+        """dedup/compression/CCR/similarity at one sweep point (memoised)."""
+        key = (subject, codec, block_size)
+        if key not in self._metrics_memo:
+            estimator = self.estimator(codec, (block_size,))
+            views = self.views(subject, block_size)
+            self._metrics_memo[key] = dataset_metrics(views, estimator)
+        return self._metrics_memo[key]
+
+    def drop_streams(self, subject: Subject) -> None:
+        """Release a subject's retained streams (memory relief)."""
+        self._streams.pop(subject, None)
+
+
+@lru_cache(maxsize=1)
+def default_context() -> ExperimentContext:
+    """Process-wide context honouring REPRO_SCALE / REPRO_QUICK."""
+    denominator = float(os.environ.get("REPRO_SCALE", "32"))
+    quick = int(os.environ.get("REPRO_QUICK", "1"))
+    return ExperimentContext(
+        ExperimentConfig(scale=1.0 / denominator, quick=max(1, quick))
+    )

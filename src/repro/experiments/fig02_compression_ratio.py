@@ -1,0 +1,67 @@
+"""Figure 2 — dedup and gzip-6 compression ratio of VMIs and caches vs
+block size (1 KB … 1 MB).
+
+Expected shape: dedup ratio *rises* as the block size shrinks while gzip's
+ratio *falls*; caches deduplicate better than images at every block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import Series, render_series
+from ..common.units import ANALYSIS_BLOCK_SIZES
+from .context import ExperimentContext, default_context
+
+__all__ = ["Fig02Result", "run", "render"]
+
+EXPERIMENT_ID = "fig02"
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    block_sizes: tuple[int, ...]
+    caches_dedup: tuple[float, ...]
+    images_dedup: tuple[float, ...]
+    caches_gzip6: tuple[float, ...]
+    images_gzip6: tuple[float, ...]
+
+
+def run(ctx: ExperimentContext | None = None) -> Fig02Result:
+    """Compute this experiment's data points (see module docstring)."""
+    ctx = ctx or default_context()
+    caches_dedup, images_dedup, caches_gzip, images_gzip = [], [], [], []
+    for block_size in ANALYSIS_BLOCK_SIZES:
+        cache_metrics = ctx.metrics("caches", block_size)
+        image_metrics = ctx.metrics("images", block_size)
+        caches_dedup.append(cache_metrics.dedup_ratio)
+        images_dedup.append(image_metrics.dedup_ratio)
+        caches_gzip.append(cache_metrics.compression_ratio)
+        images_gzip.append(image_metrics.compression_ratio)
+    return Fig02Result(
+        block_sizes=ANALYSIS_BLOCK_SIZES,
+        caches_dedup=tuple(caches_dedup),
+        images_dedup=tuple(images_dedup),
+        caches_gzip6=tuple(caches_gzip),
+        images_gzip6=tuple(images_gzip),
+    )
+
+
+def render(result: Fig02Result) -> str:
+    """Render the paper-style table/series for this experiment."""
+    series = []
+    for name, values in (
+        ("caches: dedup", result.caches_dedup),
+        ("images: dedup", result.images_dedup),
+        ("caches: gzip6", result.caches_gzip6),
+        ("images: gzip6", result.images_gzip6),
+    ):
+        line = Series(name)
+        for block_size, value in zip(result.block_sizes, values):
+            line.add(block_size // 1024, value)
+        series.append(line)
+    return render_series(
+        "Figure 2: compression ratio of VMIs and caches (dedup, gzip6)",
+        series,
+        x_label="block KB",
+    )

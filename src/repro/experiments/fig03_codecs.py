@@ -1,0 +1,62 @@
+"""Figure 3 — compression ratio of VMI caches per codec vs block size.
+
+Expected shape: gzip-9 ≈ gzip-6 > lz4 > lzjb in compression ratio; dedup
+(plotted alongside in the paper) rises as the block size shrinks while the
+content codecs fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import Series, render_series
+from ..common.units import ANALYSIS_BLOCK_SIZES
+from .context import ExperimentContext, default_context
+
+__all__ = ["Fig03Result", "run", "render", "CODECS"]
+
+EXPERIMENT_ID = "fig03"
+CODECS = ("gzip6", "gzip9", "lzjb", "lz4")
+
+
+@dataclass(frozen=True)
+class Fig03Result:
+    block_sizes: tuple[int, ...]
+    dedup: tuple[float, ...]
+    by_codec: dict[str, tuple[float, ...]]
+
+
+def run(ctx: ExperimentContext | None = None) -> Fig03Result:
+    """Compute this experiment's data points (see module docstring)."""
+    ctx = ctx or default_context()
+    dedup = tuple(
+        ctx.metrics("caches", bs).dedup_ratio for bs in ANALYSIS_BLOCK_SIZES
+    )
+    by_codec: dict[str, tuple[float, ...]] = {}
+    for codec in CODECS:
+        by_codec[codec] = tuple(
+            ctx.metrics("caches", bs, codec).compression_ratio
+            for bs in ANALYSIS_BLOCK_SIZES
+        )
+    return Fig03Result(
+        block_sizes=ANALYSIS_BLOCK_SIZES, dedup=dedup, by_codec=by_codec
+    )
+
+
+def render(result: Fig03Result) -> str:
+    """Render the paper-style table/series for this experiment."""
+    series = []
+    dedup_line = Series("dedup")
+    for bs, value in zip(result.block_sizes, result.dedup):
+        dedup_line.add(bs // 1024, value)
+    series.append(dedup_line)
+    for codec, values in result.by_codec.items():
+        line = Series(codec)
+        for bs, value in zip(result.block_sizes, values):
+            line.add(bs // 1024, value)
+        series.append(line)
+    return render_series(
+        "Figure 3: compression ratio of VMI caches per routine",
+        series,
+        x_label="block KB",
+    )

@@ -1,0 +1,64 @@
+"""Figure 4 — combined compression ratio (CCR = dedup × gzip6) of VMIs and
+caches vs block size.
+
+Expected shape (Section 2.2): there is an optimisation point — for images
+the CCR rises as the block size shrinks down to ~4 KB and then falls; for
+caches it improves little below 128 KB and falls below ~8 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import Series, render_series
+from ..common.units import ANALYSIS_BLOCK_SIZES
+from .context import ExperimentContext, default_context
+
+__all__ = ["Fig04Result", "run", "render"]
+
+EXPERIMENT_ID = "fig04"
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    block_sizes: tuple[int, ...]
+    caches_ccr: tuple[float, ...]
+    images_ccr: tuple[float, ...]
+
+    def peak_block_size(self, subject: str) -> int:
+        values = self.caches_ccr if subject == "caches" else self.images_ccr
+        best = max(range(len(values)), key=lambda i: values[i])
+        return self.block_sizes[best]
+
+
+def run(ctx: ExperimentContext | None = None) -> Fig04Result:
+    """Compute this experiment's data points (see module docstring)."""
+    ctx = ctx or default_context()
+    caches = tuple(ctx.metrics("caches", bs).ccr for bs in ANALYSIS_BLOCK_SIZES)
+    images = tuple(ctx.metrics("images", bs).ccr for bs in ANALYSIS_BLOCK_SIZES)
+    return Fig04Result(
+        block_sizes=ANALYSIS_BLOCK_SIZES, caches_ccr=caches, images_ccr=images
+    )
+
+
+def render(result: Fig04Result) -> str:
+    """Render the paper-style table/series for this experiment."""
+    series = []
+    for name, values in (
+        ("caches: dedup+gzip6", result.caches_ccr),
+        ("images: dedup+gzip6", result.images_ccr),
+    ):
+        line = Series(name)
+        for bs, value in zip(result.block_sizes, values):
+            line.add(bs // 1024, value)
+        series.append(line)
+    rendered = render_series(
+        "Figure 4: combined compression ratio of VMIs and caches",
+        series,
+        x_label="block KB",
+    )
+    return (
+        rendered
+        + f"\nCCR peak: images @ {result.peak_block_size('images') // 1024} KB,"
+        + f" caches @ {result.peak_block_size('caches') // 1024} KB"
+    )

@@ -1,0 +1,124 @@
+"""A glusterfs-like striped + replicated parallel file system.
+
+The paper's storage backend (Section 4.4): 4 storage nodes, "two levels of
+striping and two levels of replication" — files are striped over two
+replica groups, each group mirroring across two nodes, giving random-access
+parallelism over four disks and single-disk fault tolerance.
+
+The model answers: which storage node serves each byte range of a file
+(reads pick one replica round-robin), and records the resulting transfers in
+the ledger. Writes fan out to every replica of the stripe's group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import NetworkError
+from .topology import Node, NodeKind, TransferLedger
+
+__all__ = ["GlusterVolume"]
+
+#: glusterfs default stripe unit
+STRIPE_UNIT = 128 * 1024
+
+
+@dataclass
+class _FileMeta:
+    name: str
+    size: int
+
+
+class GlusterVolume:
+    """One striped+replicated volume over a set of storage nodes."""
+
+    def __init__(
+        self,
+        storage_nodes: list[Node],
+        *,
+        stripe_count: int = 2,
+        replica_count: int = 2,
+        stripe_unit: int = STRIPE_UNIT,
+        ledger: TransferLedger | None = None,
+    ) -> None:
+        if stripe_count * replica_count != len(storage_nodes):
+            raise NetworkError(
+                f"{stripe_count}x striping with {replica_count}x replication needs "
+                f"{stripe_count * replica_count} storage nodes, got {len(storage_nodes)}"
+            )
+        for node in storage_nodes:
+            if node.kind is not NodeKind.STORAGE:
+                raise NetworkError(f"{node.name} is not a storage node")
+        self.stripe_count = stripe_count
+        self.replica_count = replica_count
+        self.stripe_unit = stripe_unit
+        self.ledger = ledger or TransferLedger()
+        #: replica groups: group g holds nodes [g*replica : (g+1)*replica]
+        self.groups = [
+            storage_nodes[g * replica_count : (g + 1) * replica_count]
+            for g in range(stripe_count)
+        ]
+        self._files: dict[str, _FileMeta] = {}
+        #: per-group round-robin cursors (a shared cursor would alias with
+        #: the stripe alternation and starve one replica)
+        self._read_rr = [0] * stripe_count
+
+    # -- namespace ---------------------------------------------------------------
+
+    def create_file(self, name: str, size: int, *, writer: str | None = None) -> None:
+        """Create a file; when ``writer`` is given, records the upload traffic
+        (size × replica_count leaves the writer)."""
+        if name in self._files:
+            raise NetworkError(f"file {name!r} already exists")
+        self._files[name] = _FileMeta(name, size)
+        if writer is not None:
+            for group in self.groups:
+                for replica in group:
+                    share = size // self.stripe_count
+                    self.ledger.record(writer, replica.name, share, "upload")
+
+    def has_file(self, name: str) -> bool:
+        return name in self._files
+
+    def file_size(self, name: str) -> int:
+        meta = self._files.get(name)
+        if meta is None:
+            raise NetworkError(f"no file {name!r}")
+        return meta.size
+
+    # -- data path ---------------------------------------------------------------
+
+    def serving_node(self, offset: int) -> Node:
+        """Storage node that serves a read at ``offset`` (replica round-robin)."""
+        group_index = (offset // self.stripe_unit) % self.stripe_count
+        group = self.groups[group_index]
+        self._read_rr[group_index] += 1
+        return group[self._read_rr[group_index] % len(group)]
+
+    def read(self, name: str, offset: int, length: int, *, reader: str,
+             purpose: str = "boot-read") -> int:
+        """Read a byte range to ``reader``; returns bytes moved over the net."""
+        meta = self._files.get(name)
+        if meta is None:
+            raise NetworkError(f"no file {name!r}")
+        if offset < 0 or offset + length > meta.size:
+            raise NetworkError(f"read past end of {name!r}")
+        moved = 0
+        position = offset
+        end = offset + length
+        while position < end:
+            stripe_end = (position // self.stripe_unit + 1) * self.stripe_unit
+            chunk = min(end, stripe_end) - position
+            node = self.serving_node(position)
+            self.ledger.record(node.name, reader, chunk, purpose)
+            moved += chunk
+            position += chunk
+        return moved
+
+    def storage_read_load(self) -> dict[str, int]:
+        """Bytes served per storage node (the storage-bottleneck view)."""
+        load: dict[str, int] = {}
+        for group in self.groups:
+            for node in group:
+                load[node.name] = self.ledger.bytes_out_of(node.name)
+        return load

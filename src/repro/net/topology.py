@@ -1,0 +1,136 @@
+"""Cluster topology: nodes, NICs, and the transfer ledger.
+
+The evaluation cluster (DAS-4/VU, Section 4) is a star: up to 68 nodes on a
+commodity 1 GbE switch plus QDR InfiniBand. Figure 18's metric is *bytes
+moved to compute nodes*, so the first-class object here is the
+:class:`TransferLedger` — every simulated byte movement is recorded with its
+endpoints and purpose, and the figure queries the ledger.
+
+Timing is intentionally coarse (bandwidth/latency bounds with a many-to-one
+contention factor): the paper's network experiment reports transfer *sizes*,
+and timing only needs to be plausible for the propagation examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..common.errors import NetworkError
+
+__all__ = [
+    "LinkProfile",
+    "GBE_1",
+    "IB_QDR",
+    "NodeKind",
+    "Node",
+    "Transfer",
+    "TransferLedger",
+]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """A NIC/link technology."""
+
+    name: str
+    bandwidth_bps: float  #: payload bandwidth, bits per second
+    latency_s: float
+    #: protocol efficiency (headers, TCP dynamics): fraction of raw bandwidth
+    efficiency: float = 0.9
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bandwidth_bps * self.efficiency / 8.0
+
+    def transfer_time(self, n_bytes: int, *, streams: int = 1) -> float:
+        """Seconds to move ``n_bytes`` when ``streams`` flows share the link."""
+        if n_bytes < 0:
+            raise NetworkError("negative transfer size")
+        return self.latency_s + n_bytes * max(1, streams) / self.bytes_per_s
+
+
+#: commodity gigabit Ethernet (DAS-4's default fabric)
+GBE_1 = LinkProfile("1GbE", 1e9, 120e-6)
+#: QDR InfiniBand, 32 Gb/s theoretical (Section 4)
+IB_QDR = LinkProfile("QDR-IB", 32e9, 2e-6, efficiency=0.8)
+
+
+class NodeKind(Enum):
+    """Role of a cluster node."""
+
+    COMPUTE = "compute"
+    STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One cluster node."""
+
+    name: str
+    kind: NodeKind
+    link: LinkProfile = GBE_1
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One recorded byte movement."""
+
+    src: str
+    dst: str
+    n_bytes: int
+    purpose: str  #: e.g. "boot-read", "cache-propagation", "registration"
+    duration_s: float = 0.0
+
+
+@dataclass
+class TransferLedger:
+    """Append-only record of all network transfers in an experiment."""
+
+    transfers: list[Transfer] = field(default_factory=list)
+
+    def record(
+        self, src: str, dst: str, n_bytes: int, purpose: str, duration_s: float = 0.0
+    ) -> Transfer:
+        if n_bytes < 0:
+            raise NetworkError("negative transfer size")
+        transfer = Transfer(src, dst, n_bytes, purpose, duration_s)
+        self.transfers.append(transfer)
+        return transfer
+
+    # -- queries (Figure 18's metrics) ----------------------------------------
+
+    def bytes_into(self, node_name: str, *, purpose: str | None = None) -> int:
+        return sum(
+            t.n_bytes
+            for t in self.transfers
+            if t.dst == node_name and (purpose is None or t.purpose == purpose)
+        )
+
+    def bytes_out_of(self, node_name: str, *, purpose: str | None = None) -> int:
+        return sum(
+            t.n_bytes
+            for t in self.transfers
+            if t.src == node_name and (purpose is None or t.purpose == purpose)
+        )
+
+    def total_bytes(self, *, purpose: str | None = None) -> int:
+        return sum(
+            t.n_bytes
+            for t in self.transfers
+            if purpose is None or t.purpose == purpose
+        )
+
+    def compute_ingress_bytes(
+        self, compute_nodes: list[Node] | list[str], *, purpose: str | None = None
+    ) -> int:
+        """Cumulative bytes received by compute nodes — Figure 18's y-axis."""
+        names = {n.name if isinstance(n, Node) else n for n in compute_nodes}
+        return sum(
+            t.n_bytes
+            for t in self.transfers
+            if t.dst in names and (purpose is None or t.purpose == purpose)
+        )
+
+    def clear(self) -> None:
+        self.transfers.clear()

@@ -1,0 +1,148 @@
+"""OS distributions, releases and the Table 2 census.
+
+The paper's dataset is the 607 community images of Windows Azure as of
+November 2013 (Table 2): 579 Ubuntu, 17 RedHat/CentOS, 5 OpenSuse/SUSE,
+3 Debian, 3 unidentified Linux. Every image derives from one *release* of
+one *family*; releases of the same family share content (in short runs),
+which is what drives cross-release deduplication at small block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.hashing import derive_seed
+
+__all__ = [
+    "OSFamily",
+    "Release",
+    "AZURE_CENSUS",
+    "EC2_CENSUS",
+    "default_families",
+    "release_weights",
+]
+
+#: Table 2, Windows Azure column (November 2013).
+AZURE_CENSUS: dict[str, int] = {
+    "Ubuntu": 579,
+    "RedHat/CentOS": 17,
+    "OpenSuse/Suse Ent.": 5,
+    "Debian": 3,
+    "Windows": 0,
+    "Unidentified Linux": 3,
+}
+
+#: Table 2, Amazon EC2 column (October 2013, all regions).
+EC2_CENSUS: dict[str, int] = {
+    "Ubuntu": 5720,
+    "RedHat/CentOS": 847,
+    "OpenSuse/Suse Ent.": 8,
+    "Debian": 30,
+    "Windows": 531,
+    "Unidentified Linux": 2654,
+}
+
+
+@dataclass(frozen=True)
+class Release:
+    """One release (e.g. 'ubuntu-12.04') of an OS family."""
+
+    family: str
+    name: str
+    #: fraction of master grains shared with the family-wide pool, i.e. with
+    #: sibling releases (package payloads that survive across releases)
+    family_share: float
+    #: mean run length (grains) of family-shared stretches; short runs mean
+    #: cross-release dedup only materialises at small block sizes
+    share_run_grains: int
+
+    @property
+    def seed(self) -> int:
+        return derive_seed("release", self.family, self.name)
+
+
+@dataclass(frozen=True)
+class OSFamily:
+    """One OS family with its census count and release list."""
+
+    name: str
+    census_name: str
+    image_count: int
+    releases: tuple[Release, ...]
+    #: Zipf exponent of release popularity (newer LTS releases dominate)
+    popularity_skew: float = 0.9
+
+    @property
+    def seed(self) -> int:
+        return derive_seed("family", self.name)
+
+
+def _releases(family: str, names: list[str], share: float, run: int) -> tuple[Release, ...]:
+    return tuple(Release(family, name, share, run) for name in names)
+
+
+def default_families() -> tuple[OSFamily, ...]:
+    """The Azure community-image family structure used throughout.
+
+    Release counts reflect what was current in late 2013; 'unidentified'
+    images become three single-release families with no cross-family sharing.
+    """
+    ubuntu_names = [
+        "10.04", "10.10", "11.04", "11.10", "12.04", "12.10", "13.04", "13.10",
+    ]
+    return (
+        OSFamily(
+            name="ubuntu",
+            census_name="Ubuntu",
+            image_count=AZURE_CENSUS["Ubuntu"],
+            releases=_releases("ubuntu", ubuntu_names, share=0.55, run=6),
+        ),
+        OSFamily(
+            name="rhel-centos",
+            census_name="RedHat/CentOS",
+            image_count=AZURE_CENSUS["RedHat/CentOS"],
+            releases=_releases("rhel-centos", ["5.9", "6.2", "6.4"], share=0.50, run=6),
+        ),
+        OSFamily(
+            name="suse",
+            census_name="OpenSuse/Suse Ent.",
+            image_count=AZURE_CENSUS["OpenSuse/Suse Ent."],
+            releases=_releases("suse", ["12.3", "sles-11"], share=0.45, run=6),
+        ),
+        OSFamily(
+            name="debian",
+            census_name="Debian",
+            image_count=AZURE_CENSUS["Debian"],
+            releases=_releases("debian", ["6.0", "7.0"], share=0.55, run=6),
+        ),
+        OSFamily(
+            name="other-a",
+            census_name="Unidentified Linux",
+            image_count=1,
+            releases=_releases("other-a", ["r1"], share=0.0, run=6),
+        ),
+        OSFamily(
+            name="other-b",
+            census_name="Unidentified Linux",
+            image_count=1,
+            releases=_releases("other-b", ["r1"], share=0.0, run=6),
+        ),
+        OSFamily(
+            name="other-c",
+            census_name="Unidentified Linux",
+            image_count=1,
+            releases=_releases("other-c", ["r1"], share=0.0, run=6),
+        ),
+    )
+
+
+def release_weights(family: OSFamily) -> np.ndarray:
+    """Zipf-skewed popularity over a family's releases (newest most popular)."""
+    n = len(family.releases)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = 1.0 / ranks**family.popularity_skew
+    # newest releases (end of list) are the popular ones
+    weights = weights[::-1].copy()
+    return weights / weights.sum()

@@ -1,0 +1,181 @@
+"""Adaptive Replacement Cache (ARC).
+
+ZFS caches blocks in an ARC (Megiddo & Modha, FAST'03): two LRU lists — T1
+(recently used once) and T2 (frequently used) — plus ghost lists B1/B2 that
+remember recently evicted keys and adaptively steer the target size ``p`` of
+T1. This is a faithful implementation of the original algorithm, generalised
+to variable-sized entries by charging bytes instead of slots.
+
+The boot simulator uses it for the ZFS read path; the pool charges its
+resident bytes as memory consumption.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["AdaptiveReplacementCache", "ArcStats"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class ArcStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class AdaptiveReplacementCache(Generic[K, V]):
+    """Byte-budgeted ARC.
+
+    ``capacity`` is a byte budget; each entry carries its own size. Ghost
+    lists hold keys only (no values) and are bounded to the same byte budget,
+    mirroring the c-slot bound of the slot-based original.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ARC capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._p = 0  # adaptive target size (bytes) for T1
+        self._t1: OrderedDict[K, tuple[V, int]] = OrderedDict()
+        self._t2: OrderedDict[K, tuple[V, int]] = OrderedDict()
+        self._b1: OrderedDict[K, int] = OrderedDict()  # key -> size
+        self._b2: OrderedDict[K, int] = OrderedDict()
+        self._t1_bytes = 0
+        self._t2_bytes = 0
+        self._b1_bytes = 0
+        self._b2_bytes = 0
+        self.stats = ArcStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def get(self, key: K) -> V | None:
+        """Look up ``key``; promotes hits to T2 (frequency list)."""
+        if key in self._t1:
+            value, size = self._t1.pop(key)
+            self._t1_bytes -= size
+            self._t2[key] = (value, size)
+            self._t2_bytes += size
+            self.stats.hits += 1
+            return value
+        if key in self._t2:
+            self._t2.move_to_end(key)
+            self.stats.hits += 1
+            return self._t2[key][0]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: K, value: V, size: int) -> None:
+        """Insert ``key`` after a miss (the ARC 'on miss' path)."""
+        if size <= 0:
+            raise ValueError(f"entry size must be positive, got {size}")
+        if size > self.capacity:
+            return  # larger than the whole cache: bypass
+        if key in self._t1 or key in self._t2:
+            # overwrite in place (value refresh)
+            self._remove_resident(key)
+        if key in self._b1:
+            # ghost hit in B1: favour recency — grow p
+            delta = max(1, self._b2_bytes // max(1, self._b1_bytes)) * size
+            self._p = min(self.capacity, self._p + delta)
+            self._b1_bytes -= self._b1.pop(key)
+            self._replace(in_b2=False, incoming=size)
+            self._t2[key] = (value, size)
+            self._t2_bytes += size
+            return
+        if key in self._b2:
+            # ghost hit in B2: favour frequency — shrink p
+            delta = max(1, self._b1_bytes // max(1, self._b2_bytes)) * size
+            self._p = max(0, self._p - delta)
+            self._b2_bytes -= self._b2.pop(key)
+            self._replace(in_b2=True, incoming=size)
+            self._t2[key] = (value, size)
+            self._t2_bytes += size
+            return
+        # brand-new key
+        l1_bytes = self._t1_bytes + self._b1_bytes
+        if l1_bytes >= self.capacity:
+            if self._t1_bytes < self.capacity:
+                self._evict_ghost(self._b1, "_b1_bytes", l1_bytes - self.capacity + size)
+                self._replace(in_b2=False, incoming=size)
+            else:
+                self._evict_lru(self._t1, "_t1_bytes", ghost=None, needed=size)
+        else:
+            total = l1_bytes + self._t2_bytes + self._b2_bytes
+            if total >= self.capacity:
+                self._evict_ghost(
+                    self._b2, "_b2_bytes", total - 2 * self.capacity + size
+                )
+            self._replace(in_b2=False, incoming=size)
+        self._t1[key] = (value, size)
+        self._t1_bytes += size
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._t1 or key in self._t2
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes held by cached values (T1 + T2)."""
+        return self._t1_bytes + self._t2_bytes
+
+    def clear(self) -> None:
+        """Drop all cached data and ghosts (e.g. node reboot)."""
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self._t1_bytes = self._t2_bytes = self._b1_bytes = self._b2_bytes = 0
+        self._p = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _remove_resident(self, key: K) -> None:
+        if key in self._t1:
+            _, size = self._t1.pop(key)
+            self._t1_bytes -= size
+        elif key in self._t2:
+            _, size = self._t2.pop(key)
+            self._t2_bytes -= size
+
+    def _replace(self, *, in_b2: bool, incoming: int) -> None:
+        """Make room for ``incoming`` bytes by demoting from T1 or T2."""
+        while self._t1_bytes + self._t2_bytes + incoming > self.capacity:
+            t1_nonempty = bool(self._t1)
+            prefer_t1 = t1_nonempty and (
+                self._t1_bytes > self._p or (in_b2 and self._t1_bytes == self._p)
+            )
+            if prefer_t1 or not self._t2:
+                if not self._t1:
+                    break
+                key, (_, size) = self._t1.popitem(last=False)
+                self._t1_bytes -= size
+                self._b1[key] = size
+                self._b1_bytes += size
+            else:
+                key, (_, size) = self._t2.popitem(last=False)
+                self._t2_bytes -= size
+                self._b2[key] = size
+                self._b2_bytes += size
+
+    def _evict_lru(self, lru: OrderedDict, counter: str, ghost, needed: int) -> None:
+        while lru and self._t1_bytes + self._t2_bytes + needed > self.capacity:
+            _key, (_, size) = lru.popitem(last=False)
+            setattr(self, counter, getattr(self, counter) - size)
+
+    def _evict_ghost(self, ghost: OrderedDict, counter: str, overflow: int) -> None:
+        shed = 0
+        while ghost and shed < overflow:
+            _, size = ghost.popitem(last=False)
+            setattr(self, counter, getattr(self, counter) - size)
+            shed += size

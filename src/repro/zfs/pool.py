@@ -1,0 +1,166 @@
+"""The ZPool facade — what a node mounts.
+
+Owns the space map, the (charged) dedup table, the plain allocation table,
+the ARC, and the dataset namespace; hands out transaction groups. The
+resource metrics the paper reports per node are properties here:
+
+* ``disk_used_bytes``  — data after dedup+compression **plus** the on-disk
+  DDT (the overhead measured in Figure 9);
+* ``memory_used_bytes`` — resident DDT plus ARC bytes (Figure 10's metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ObjectNotFoundError, StorageError
+from ..common.units import GiB, SQUIRREL_BLOCK_SIZE
+from .arc import AdaptiveReplacementCache
+from .dataset import Dataset
+from .ddt import DedupTable
+from .spa import SpaceMap
+from .zio import ZioPipeline
+
+__all__ = ["ZPool", "PoolStats"]
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Point-in-time resource snapshot of a pool."""
+
+    data_bytes: int  #: allocated block data (after dedup + compression)
+    ddt_disk_bytes: int
+    ddt_core_bytes: int
+    arc_bytes: int
+    ddt_entries: int
+
+    @property
+    def disk_used_bytes(self) -> int:
+        return self.data_bytes + self.ddt_disk_bytes
+
+    @property
+    def memory_used_bytes(self) -> int:
+        return self.ddt_core_bytes + self.arc_bytes
+
+
+class ZPool:
+    """One storage pool (one per node in Squirrel deployments)."""
+
+    def __init__(
+        self,
+        name: str = "tank",
+        *,
+        capacity: int = 1024 * GiB,
+        arc_capacity: int = 1 * GiB,
+        store_payloads: bool = True,
+    ) -> None:
+        self.name = name
+        self.space = SpaceMap(capacity=capacity)
+        self.ddt = DedupTable()
+        self.plain = DedupTable()
+        self.arc: AdaptiveReplacementCache[str, bytes] = AdaptiveReplacementCache(
+            arc_capacity
+        )
+        self.zio = ZioPipeline(
+            self.space, self.ddt, self.plain, store_payloads=store_payloads
+        )
+        self._datasets: dict[str, Dataset] = {}
+        self._txg = 0
+
+    # -- transaction groups ---------------------------------------------------
+
+    def advance_txg(self) -> int:
+        """Open the next transaction group and return its id."""
+        self._txg += 1
+        return self._txg
+
+    @property
+    def current_txg(self) -> int:
+        return self._txg
+
+    # -- dataset namespace ----------------------------------------------------
+
+    def create_dataset(
+        self,
+        name: str,
+        *,
+        record_size: int = SQUIRREL_BLOCK_SIZE,
+        compression: str = "gzip6",
+        dedup: bool = True,
+    ) -> Dataset:
+        if name in self._datasets:
+            raise StorageError(f"dataset {name!r} already exists in pool {self.name}")
+        dataset = Dataset(
+            self,
+            name,
+            record_size=record_size,
+            compression=compression,
+            dedup=dedup,
+        )
+        self._datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        ds = self._datasets.get(name)
+        if ds is None:
+            raise ObjectNotFoundError(f"no dataset {name!r} in pool {self.name}")
+        return ds
+
+    def has_dataset(self, name: str) -> bool:
+        return name in self._datasets
+
+    def destroy_dataset(self, name: str) -> None:
+        self.dataset(name).destroy()
+        del self._datasets[name]
+
+    def dataset_names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def data_bytes(self) -> int:
+        """Block data allocated after dedup + compression (sector-aligned)."""
+        return self.space.allocated_bytes
+
+    @property
+    def disk_used_bytes(self) -> int:
+        return self.data_bytes + self.ddt.on_disk_bytes
+
+    @property
+    def memory_used_bytes(self) -> int:
+        return self.ddt.in_core_bytes + self.arc.resident_bytes
+
+    def stats(self) -> PoolStats:
+        return PoolStats(
+            data_bytes=self.data_bytes,
+            ddt_disk_bytes=self.ddt.on_disk_bytes,
+            ddt_core_bytes=self.ddt.in_core_bytes,
+            arc_bytes=self.arc.resident_bytes,
+            ddt_entries=self.ddt.entry_count,
+        )
+
+    def dedup_ratio(self) -> float:
+        return self.ddt.dedup_ratio()
+
+    def describe(self) -> str:
+        """``zfs list``-style report of the pool and its datasets."""
+        from ..common.units import format_bytes
+
+        lines = [
+            f"pool {self.name}: {format_bytes(self.disk_used_bytes)} used "
+            f"({format_bytes(self.data_bytes)} data + "
+            f"{format_bytes(self.ddt.on_disk_bytes)} DDT), "
+            f"{format_bytes(self.memory_used_bytes)} in core, "
+            f"dedup {self.dedup_ratio():.2f}x",
+            f"{'NAME':<24}{'FILES':>7}{'SNAPS':>7}{'REFER':>12}{'LSIZE':>12}",
+        ]
+        for name in self.dataset_names():
+            dataset = self.dataset(name)
+            lines.append(
+                f"{name:<24}{len(dataset.file_names()):>7}"
+                f"{len(dataset.snapshots()):>7}"
+                f"{format_bytes(dataset.referenced_psize):>12}"
+                f"{format_bytes(dataset.logical_size):>12}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Unit tests for the paper's storage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    combined_compression_ratio,
+    compression_ratio,
+    cross_similarity,
+    dataset_metrics,
+    dedup_ratio,
+)
+from repro.vmi import block_view, make_estimator
+
+
+def view_of(grain_ids, block_size=4096):
+    return block_view(np.asarray(grain_ids, dtype=np.uint64), block_size)
+
+
+def gid(tag, cls=2):
+    return (tag << 3) | cls
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return make_estimator("gzip6", (4096,), samples_per_point=2)
+
+
+class TestDedupRatio:
+    def test_identical_files(self):
+        a = view_of([gid(1)] * 8)
+        b = view_of([gid(1)] * 8)
+        assert dedup_ratio([a, b]) == pytest.approx(4.0)  # 4 blocks, 1 unique
+
+    def test_disjoint_files(self):
+        a = view_of([gid(1), gid(2), gid(3), gid(4)])
+        b = view_of([gid(5), gid(6), gid(7), gid(8)])
+        assert dedup_ratio([a, b]) == pytest.approx(1.0)
+
+    def test_holes_excluded(self):
+        a = view_of([gid(1)] * 4 + [0] * 4)
+        assert dedup_ratio([a]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert dedup_ratio([view_of([0] * 4)]) == 1.0
+
+
+class TestCrossSimilarity:
+    def test_identical_files_score_one(self):
+        a = view_of([gid(1), gid(2), gid(3), gid(4)])
+        b = view_of([gid(1), gid(2), gid(3), gid(4)])
+        assert cross_similarity([a, b]) == pytest.approx(1.0)
+
+    def test_disjoint_files_score_zero(self):
+        a = view_of([gid(1), gid(2), gid(3), gid(4)])
+        b = view_of([gid(5), gid(6), gid(7), gid(8)])
+        assert cross_similarity([a, b]) == 0.0
+
+    def test_within_file_duplicates_do_not_count(self):
+        """Repetition counts *cross-file* sharing only."""
+        a = view_of([gid(1)] * 8)  # 2 identical blocks within one file
+        b = view_of([gid(9), gid(10), gid(11), gid(12)])
+        assert cross_similarity([a, b]) == 0.0
+
+    def test_partial_sharing(self):
+        a = view_of([gid(1), gid(2), gid(3), gid(4)])  # 1 block (4 grains/blk)
+        b = view_of([gid(1), gid(2), gid(3), gid(4)])
+        c = view_of([gid(5), gid(6), gid(7), gid(8)])
+        # blocks: a=1, b=1 (same), c=1. repetitions: shared block in 2 files
+        # => 2; sum |U_i| = 3
+        assert cross_similarity([a, b, c]) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert cross_similarity([view_of([0] * 4)]) == 0.0
+
+
+class TestCompressionRatio:
+    def test_over_unique_blocks_only(self, estimator):
+        """Duplicated blocks must not be double-counted."""
+        a = view_of([gid(1, cls=1)] * 4)
+        b = view_of([gid(1, cls=1)] * 4)
+        single = compression_ratio([a], estimator)
+        both = compression_ratio([a, b], estimator)
+        assert both == pytest.approx(single)
+
+    def test_text_compresses_better_than_packed(self, estimator):
+        text = view_of([gid(i, cls=1) for i in range(16)])
+        packed = view_of([gid(i, cls=4) for i in range(16)])
+        assert compression_ratio([text], estimator) > compression_ratio(
+            [packed], estimator
+        )
+
+    def test_ccr_is_product(self, estimator):
+        a = view_of([gid(1, cls=1)] * 8)
+        ccr = combined_compression_ratio([a], estimator)
+        assert ccr == pytest.approx(
+            dedup_ratio([a]) * compression_ratio([a], estimator)
+        )
+
+
+class TestDatasetMetrics:
+    def test_consistent_with_individual_metrics(self, estimator):
+        views = [
+            view_of([gid(1, 1), gid(2, 2), gid(3, 1), gid(4, 2)] * 2),
+            view_of([gid(1, 1), gid(2, 2), gid(5, 1), gid(6, 2)] * 2),
+        ]
+        result = dataset_metrics(views, estimator)
+        assert result.dedup_ratio == pytest.approx(dedup_ratio(views))
+        assert result.compression_ratio == pytest.approx(
+            compression_ratio(views, estimator)
+        )
+        assert result.cross_similarity == pytest.approx(cross_similarity(views))
+        assert result.ccr == pytest.approx(
+            result.dedup_ratio * result.compression_ratio
+        )
+
+    def test_counts(self, estimator):
+        views = [view_of([gid(1)] * 8)]  # two 4-grain blocks, identical
+        result = dataset_metrics(views, estimator)
+        assert result.n_blocks == 2
+        assert result.n_unique == 1
+
+    def test_rejects_empty(self, estimator):
+        with pytest.raises(ValueError):
+            dataset_metrics([], estimator)

@@ -1,0 +1,53 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis import Series, TextTable, render_series
+
+
+class TestTextTable:
+    def test_renders_title_headers_rows(self):
+        table = TextTable("Table 3: RMSE", ["Block size", "Linear", "MMF"])
+        table.add_row("64 KB", 0.03, 0.04)
+        out = table.render()
+        assert "Table 3: RMSE" in out
+        assert "Block size" in out
+        assert "0.03" in out
+
+    def test_wrong_arity_rejected(self):
+        table = TextTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_alignment(self):
+        table = TextTable("t", ["x", "longheader"])
+        table.add_row(1, 2)
+        lines = table.render().splitlines()
+        # header and data rows have equal width
+        assert len(lines[2]) == len(lines[4])
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        s = Series("caches")
+        s.add(1, 2.0)
+        s.add(4, 3.0)
+        assert s.xs() == [1.0, 4.0]
+        assert s.ys() == [2.0, 3.0]
+
+    def test_render_aligns_on_shared_x(self):
+        a = Series("a")
+        a.add(1, 1.0)
+        a.add(2, 2.0)
+        b = Series("b")
+        b.add(2, 4.0)
+        out = render_series("Figure X", [a, b], x_label="bs")
+        assert "Figure X" in out
+        assert "1.00" in out and "4.00" in out
+        assert "-" in out  # missing point marker for b at x=1
+
+    def test_custom_format(self):
+        s = Series("s")
+        s.add(1, 1.23456)
+        out = render_series("f", [s], y_format="{:.4f}")
+        assert "1.2346" in out

@@ -1,0 +1,80 @@
+"""Unit tests for the host page-cache model."""
+
+import pytest
+
+from repro.boot.pagecache import PAGE_SIZE, PageCache
+
+
+class TestAccess:
+    def test_first_access_misses_whole_range(self):
+        pc = PageCache(1 << 20)
+        missing = pc.access(1, 0, 8192)
+        assert missing == [(0, 8192)]
+
+    def test_second_access_hits(self):
+        pc = PageCache(1 << 20)
+        pc.access(1, 0, 8192)
+        assert pc.access(1, 0, 8192) == []
+        assert pc.hits == 2
+
+    def test_partial_overlap_returns_only_missing(self):
+        pc = PageCache(1 << 20)
+        pc.access(1, 0, PAGE_SIZE)
+        missing = pc.access(1, 0, 3 * PAGE_SIZE)
+        assert missing == [(PAGE_SIZE, 2 * PAGE_SIZE)]
+
+    def test_disjoint_missing_ranges_coalesced_separately(self):
+        pc = PageCache(1 << 20)
+        pc.access(1, PAGE_SIZE, PAGE_SIZE)  # page 1 cached
+        missing = pc.access(1, 0, 3 * PAGE_SIZE)
+        assert missing == [(0, PAGE_SIZE), (2 * PAGE_SIZE, PAGE_SIZE)]
+
+    def test_files_are_independent(self):
+        pc = PageCache(1 << 20)
+        pc.access(1, 0, PAGE_SIZE)
+        assert pc.access(2, 0, PAGE_SIZE) == [(0, PAGE_SIZE)]
+
+    def test_zero_length(self):
+        pc = PageCache(1 << 20)
+        assert pc.access(1, 0, 0) == []
+
+    def test_unaligned_range_touches_straddled_pages(self):
+        pc = PageCache(1 << 20)
+        pc.access(1, PAGE_SIZE - 1, 2)  # straddles pages 0 and 1
+        assert pc.contains(1, 0)
+        assert pc.contains(1, PAGE_SIZE)
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        pc = PageCache(2 * PAGE_SIZE)
+        pc.access(1, 0, PAGE_SIZE)
+        pc.access(1, PAGE_SIZE, PAGE_SIZE)
+        pc.access(1, 2 * PAGE_SIZE, PAGE_SIZE)  # evicts page 0
+        assert not pc.contains(1, 0)
+        assert pc.contains(1, PAGE_SIZE)
+
+    def test_access_refreshes_lru(self):
+        pc = PageCache(2 * PAGE_SIZE)
+        pc.access(1, 0, PAGE_SIZE)
+        pc.access(1, PAGE_SIZE, PAGE_SIZE)
+        pc.access(1, 0, PAGE_SIZE)  # refresh page 0
+        pc.access(1, 2 * PAGE_SIZE, PAGE_SIZE)  # evicts page 1
+        assert pc.contains(1, 0)
+        assert not pc.contains(1, PAGE_SIZE)
+
+    def test_resident_bytes_bounded(self):
+        pc = PageCache(8 * PAGE_SIZE)
+        for i in range(100):
+            pc.access(1, i * PAGE_SIZE, PAGE_SIZE)
+        assert pc.resident_bytes <= 8 * PAGE_SIZE
+
+    def test_drop(self):
+        pc = PageCache(1 << 20)
+        pc.access(1, 0, PAGE_SIZE)
+        pc.drop()
+        assert not pc.contains(1, 0)
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            PageCache(100)

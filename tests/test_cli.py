@@ -1,0 +1,34 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.__main__ import ALIASES, EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_every_paper_artifact_is_reachable(self):
+        """Every table/figure id of the paper's evaluation resolves."""
+        ids = {"tab01", "tab02", "tab03", "tab04"} | {
+            f"fig{n:02d}" for n in (2, 3, 4, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)
+        }
+        reachable = set(EXPERIMENTS) | set(ALIASES)
+        assert ids <= reachable
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99", "--scale", "4096"])
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["tab02", "--scale", "4096", "--quick", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_alias_resolution(self, capsys):
+        assert main(["tab03", "--scale", "4096", "--quick", "16"]) == 0
+        assert "Table 3" in capsys.readouterr().out

@@ -1,0 +1,232 @@
+"""Integration tests for the Squirrel core: register / boot / deregister,
+garbage collection, offline propagation."""
+
+import pytest
+
+from repro.common.errors import RegistrationError
+from repro.core import IaaSCluster, Squirrel, run_boot_storm
+from repro.vmi import AzureCommunityDataset, DatasetConfig, make_estimator
+
+SCALE = 1 / 1024
+BLOCK = 65536
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return AzureCommunityDataset(DatasetConfig(scale=SCALE))
+
+
+@pytest.fixture
+def rig(dataset):
+    cluster = IaaSCluster.build(n_compute=6, n_storage=4, block_size=BLOCK)
+    estimator = make_estimator("gzip6", (BLOCK,), samples_per_point=2)
+    squirrel = Squirrel(cluster=cluster, estimator=estimator, gc_window_days=7)
+    return squirrel, dataset
+
+
+class TestRegister:
+    def test_register_propagates_to_all_online_nodes(self, rig):
+        squirrel, dataset = rig
+        spec = dataset.images[0]
+        record = squirrel.register(spec)
+        assert record.receivers == 6
+        cache = squirrel.cache_file_of(spec.image_id)
+        for node in squirrel.cluster.compute:
+            assert node.ccvolume.has_file(cache)
+
+    def test_register_creates_snapshot_chain(self, rig):
+        squirrel, dataset = rig
+        for spec in dataset.images[:3]:
+            squirrel.register(spec)
+        snaps = squirrel.cluster.storage.scvolume.snapshots()
+        assert [s.name for s in snaps] == ["v00001", "v00002", "v00003"]
+
+    def test_duplicate_registration_rejected(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        with pytest.raises(RegistrationError):
+            squirrel.register(dataset.images[0])
+
+    def test_diff_smaller_than_cache(self, rig):
+        """The cVolume diff is O(10 MB) for an O(100 MB) cache (Section 5.3):
+        dedup + compression shrink what actually travels."""
+        squirrel, dataset = rig
+        # register several images of the same release: later diffs dedup hard
+        ubuntu = [
+            s for s in dataset.images
+            if s.release.family == "ubuntu" and s.release.name == "13.10"
+        ][:4]
+        records = [squirrel.register(spec) for spec in ubuntu]
+        for record in records:
+            assert record.diff_bytes < record.cache_bytes
+        # later registrations benefit from cross-cache dedup on the receiver
+        assert records[-1].diff_bytes < records[-1].cache_bytes * 0.8
+
+    def test_propagation_seconds_modest(self, rig):
+        """Section 3.2: the whole workflow is not in the boot critical path
+        and the diff multicast takes a couple of seconds at most."""
+        squirrel, dataset = rig
+        record = squirrel.register(dataset.images[0])
+        assert record.propagation_seconds < 2.0
+
+
+class TestBoot:
+    def test_warm_boot_moves_zero_bytes(self, rig):
+        squirrel, dataset = rig
+        spec = dataset.images[0]
+        squirrel.register(spec)
+        before = squirrel.cluster.compute_ingress_bytes(purpose="boot-read")
+        outcome = squirrel.boot(spec.image_id, "compute0")
+        assert outcome.cache_hit
+        assert outcome.network_bytes == 0
+        assert squirrel.cluster.compute_ingress_bytes(purpose="boot-read") == before
+
+    def test_unregistered_boot_rejected(self, rig):
+        squirrel, _ = rig
+        with pytest.raises(RegistrationError):
+            squirrel.boot(42, "compute0")
+
+    def test_cold_boot_reads_boot_set_over_network(self, rig):
+        squirrel, dataset = rig
+        spec = dataset.images[0]
+        squirrel.cluster.node("compute3").online = False
+        squirrel.register(spec)
+        squirrel.cluster.node("compute3").online = True
+        outcome = squirrel.boot(spec.image_id, "compute3")
+        assert not outcome.cache_hit
+        assert outcome.network_bytes >= min(spec.cache_bytes, spec.nonzero_bytes)
+
+
+class TestDeregisterAndGC:
+    def test_deregister_removes_cache(self, rig):
+        squirrel, dataset = rig
+        spec = dataset.images[0]
+        squirrel.register(spec)
+        squirrel.deregister(spec.image_id)
+        assert not squirrel.cluster.storage.scvolume.has_file(
+            squirrel.cache_file_of(spec.image_id)
+        )
+
+    def test_deregistration_propagates_with_next_snapshot(self, rig):
+        """Section 3.4: no snapshot on delete; the unlink rides the next
+        registration's diff."""
+        squirrel, dataset = rig
+        first, second = dataset.images[0], dataset.images[1]
+        squirrel.register(first)
+        squirrel.deregister(first.image_id)
+        node = squirrel.cluster.compute[0]
+        assert node.ccvolume.has_file(squirrel.cache_file_of(first.image_id))
+        squirrel.register(second)  # new snapshot carries the unlink
+        assert not node.ccvolume.has_file(squirrel.cache_file_of(first.image_id))
+
+    def test_gc_keeps_window_and_latest(self, rig):
+        squirrel, dataset = rig
+        for day, spec in enumerate(dataset.images[:5]):
+            squirrel.register(spec)
+            squirrel.advance_time(3)
+        victims = squirrel.collect_garbage()  # clock=15, window=7 => cutoff=8
+        scvol = squirrel.cluster.storage.scvolume
+        names = [s.name for s in scvol.snapshots()]
+        assert "v00005" in names  # latest always kept
+        assert victims  # something old was collected
+        for victim in victims:
+            assert victim not in names
+
+    def test_gc_frees_space_of_dead_caches(self, rig):
+        squirrel, dataset = rig
+        spec = dataset.images[0]
+        squirrel.register(spec)
+        squirrel.deregister(spec.image_id)
+        squirrel.advance_time(30)
+        squirrel.register(dataset.images[1])  # snapshot carrying the unlink
+        pool = squirrel.cluster.storage.pool
+        used_before_gc = pool.data_bytes
+        squirrel.collect_garbage()
+        assert pool.data_bytes < used_before_gc
+
+
+class TestOfflinePropagation:
+    def test_incremental_resync_within_window(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        node = squirrel.cluster.node("compute2")
+        node.online = False
+        squirrel.register(dataset.images[1])
+        squirrel.register(dataset.images[2])
+        moved = squirrel.resync_node("compute2")
+        assert moved > 0
+        for spec in dataset.images[:3]:
+            assert node.ccvolume.has_file(squirrel.cache_file_of(spec.image_id))
+
+    def test_resync_is_noop_when_in_sync(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        assert squirrel.resync_node("compute1") == 0
+
+    def test_full_replication_after_window_expires(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        node = squirrel.cluster.node("compute2")
+        node.online = False
+        squirrel.advance_time(30)  # node misses a whole month
+        squirrel.register(dataset.images[1])
+        squirrel.collect_garbage()  # v00001 falls out of the window
+        moved = squirrel.resync_node("compute2")
+        assert moved > 0
+        assert node.ccvolume.has_file(squirrel.cache_file_of(0))
+        assert node.ccvolume.has_file(squirrel.cache_file_of(1))
+        assert node.synced_snapshot == "v00002"
+
+    def test_new_node_receives_everything(self, rig):
+        squirrel, dataset = rig
+        node = squirrel.cluster.node("compute5")
+        node.online = False
+        node.synced_snapshot = None
+        for spec in dataset.images[:3]:
+            squirrel.register(spec)
+        squirrel.resync_node("compute5")
+        for spec in dataset.images[:3]:
+            assert node.ccvolume.has_file(squirrel.cache_file_of(spec.image_id))
+
+
+class TestBootStorm:
+    def test_squirrel_eliminates_boot_traffic(self, rig):
+        squirrel, dataset = rig
+        for spec in dataset.images[:12]:
+            squirrel.register(spec)
+        result = run_boot_storm(
+            squirrel, dataset, n_nodes=4, vms_per_node=3, with_caches=True
+        )
+        assert result.compute_ingress_bytes == 0
+        assert result.cache_hits == result.boots == 12
+
+    def test_baseline_traffic_grows_with_vms(self, rig):
+        squirrel, dataset = rig
+        for spec in dataset.images[:12]:
+            squirrel.register(spec)
+        one = run_boot_storm(
+            squirrel, dataset, n_nodes=4, vms_per_node=1, with_caches=False
+        )
+        many = run_boot_storm(
+            squirrel, dataset, n_nodes=4, vms_per_node=3, with_caches=False
+        )
+        assert many.compute_ingress_bytes > 2 * one.compute_ingress_bytes
+
+
+class TestRegistrationWorkflowTime:
+    def test_workflow_under_a_minute(self, rig):
+        """Section 3.2: the registration workflow takes no more than a
+        minute (boot once + snapshot + multicast the diff)."""
+        squirrel, dataset = rig
+        record = squirrel.register(dataset.images[0])
+        assert record.workflow_seconds < 60.0
+
+
+class TestPoolDescribe:
+    def test_zfs_list_style_report(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        report = squirrel.cluster.storage.pool.describe()
+        assert "scvol" in report
+        assert "dedup" in report
+        assert "DDT" in report

@@ -1,0 +1,77 @@
+"""Unit tests for the rotational disk model."""
+
+import pytest
+
+from repro.disk import DAS4_DISK, DAS4_RAID0, DiskModel
+
+
+@pytest.fixture
+def disk():
+    return DiskModel(DAS4_DISK, span_bytes=1 << 40)
+
+
+class TestSeekModel:
+    def test_contiguous_read_has_no_seek(self, disk):
+        disk.read(1 << 30, 64 * 1024)  # initial positioning: one seek
+        elapsed = disk.read((1 << 30) + 64 * 1024, 64 * 1024)
+        assert elapsed == pytest.approx(64 * 1024 / DAS4_DISK.sequential_bw)
+        assert disk.total_seeks == 1  # only the initial positioning
+
+    def test_long_seek_costs_more_than_short(self, disk):
+        short = disk.seek_time(0, 10 << 20)
+        long = disk.seek_time(0, 500 << 30)
+        assert short < long
+
+    def test_seek_bounded_by_full_stroke(self, disk):
+        worst = disk.seek_time(0, 1 << 40)
+        assert worst <= DAS4_DISK.full_stroke_s + DAS4_DISK.rotational_latency_s + 1e-12
+
+    def test_within_contiguity_window_is_free(self, disk):
+        assert disk.seek_time(1000, 1000 + 128 * 1024) == 0.0
+
+
+class TestReadAccounting:
+    def test_counters(self, disk):
+        disk.read(0, 4096)
+        disk.read(1 << 30, 4096)
+        assert disk.total_requests == 2
+        assert disk.total_bytes == 8192
+        assert disk.total_time_s > 0
+
+    def test_reset(self, disk):
+        disk.read(0, 4096)
+        disk.reset_counters()
+        assert disk.total_requests == 0
+        assert disk.total_time_s == 0.0
+
+    def test_negative_size_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.read(0, -1)
+
+    def test_head_advances(self, disk):
+        disk.read(100, 4096)
+        assert disk.head_offset == 100 + 4096
+
+
+class TestProfiles:
+    def test_raid0_streams_faster(self):
+        single = DiskModel(DAS4_DISK)
+        raid = DiskModel(DAS4_RAID0)
+        size = 100 << 20
+        assert raid.read(0, size) < single.read(0, size)
+
+    def test_random_reads_dominated_by_seeks(self):
+        """4 KB random reads: service time must be milliseconds, not µs —
+        the effect that makes deduplicated small-block boots slow."""
+        disk = DiskModel(DAS4_DISK, span_bytes=1 << 40)
+        total = 0.0
+        for i in range(100):
+            total += disk.read((i * 7919 % 1024) << 30, 4096)
+        assert total / 100 > 0.004
+
+    def test_scattered_vs_sequential_pattern(self):
+        seq = DiskModel(DAS4_DISK)
+        scat = DiskModel(DAS4_DISK)
+        seq_time = sum(seq.read(i * 65536, 65536) for i in range(64))
+        scat_time = sum(scat.read((i * 104729 % 4096) << 24, 65536) for i in range(64))
+        assert scat_time > 3 * seq_time

@@ -1,0 +1,82 @@
+"""Unit tests for the multi-stream (NCQ/readahead) disk front end."""
+
+import pytest
+
+from repro.disk import DAS4_DISK, MultiStreamDisk
+
+
+def make(streams=4, window=4 << 20):
+    return MultiStreamDisk(
+        DAS4_DISK, span_bytes=1 << 40, max_streams=streams, stream_window=window
+    )
+
+
+class TestStreamRecognition:
+    def test_sequential_reads_one_seek(self):
+        disk = make()
+        for i in range(32):
+            disk.read(i * 65536, 65536)
+        assert disk.total_seeks == 1  # only the initial positioning
+
+    def test_interleaved_streams_served_without_seeks(self):
+        """The deduplicated-cache pattern: reads alternating between two
+        far-apart but individually sequential regions."""
+        disk = make()
+        base_a, base_b = 0, 100 << 30
+        for i in range(32):
+            disk.read(base_a + i * 65536, 65536)
+            disk.read(base_b + i * 65536, 65536)
+        assert disk.total_seeks == 2  # one per stream start
+
+    def test_more_streams_than_capacity_thrash(self):
+        disk = make(streams=2)
+        bases = [i * (10 << 30) for i in range(4)]  # 4 regions, 2 streams
+        for i in range(8):
+            for base in bases:
+                disk.read(base + i * 65536, 65536)
+        assert disk.total_seeks > 8  # LRU stream eviction forces re-seeks
+
+    def test_small_backward_jump_tolerated(self):
+        disk = make()
+        disk.read(1 << 30, 65536)
+        elapsed = disk.read((1 << 30) - 4096, 4096)  # drive-cache hit
+        assert elapsed == pytest.approx(4096 / DAS4_DISK.sequential_bw)
+
+    def test_far_jump_costs_a_seek(self):
+        disk = make()
+        disk.read(0, 65536)
+        elapsed = disk.read(500 << 30, 65536)
+        assert elapsed > 0.004
+
+    def test_jump_beyond_window_within_stream(self):
+        disk = make(window=1 << 20)
+        disk.read(0, 65536)
+        disk.read(2 << 20, 65536)  # past the 1 MB window
+        assert disk.total_seeks == 2
+
+
+class TestAccounting:
+    def test_counters(self):
+        disk = make()
+        disk.read(0, 4096)
+        disk.read(1 << 30, 4096)
+        assert disk.total_requests == 2
+        assert disk.total_bytes == 8192
+        assert disk.total_time_s > 0
+
+    def test_reset(self):
+        disk = make()
+        disk.read(0, 4096)
+        disk.reset()
+        assert disk.total_requests == 0
+        # streams forgotten: the same offset seeks again
+        disk.read(0, 4096)
+        assert disk.total_seeks == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make().read(0, -1)
+
+    def test_needs_at_least_one_stream(self):
+        with pytest.raises(ValueError):
+            MultiStreamDisk(DAS4_DISK, max_streams=0)

@@ -1,0 +1,85 @@
+"""Unit tests for the striped+replicated parallel FS."""
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.net import GlusterVolume, Node, NodeKind, TransferLedger
+
+
+def storage_nodes(n=4):
+    return [Node(f"st{i}", NodeKind.STORAGE) for i in range(n)]
+
+
+@pytest.fixture
+def volume():
+    ledger = TransferLedger()
+    return GlusterVolume(storage_nodes(), stripe_count=2, replica_count=2,
+                         ledger=ledger)
+
+
+class TestConfiguration:
+    def test_paper_configuration(self, volume):
+        """Section 4.4: two levels of striping, two of replication, 4 nodes."""
+        assert len(volume.groups) == 2
+        assert all(len(g) == 2 for g in volume.groups)
+
+    def test_node_count_must_match(self):
+        with pytest.raises(NetworkError, match="needs"):
+            GlusterVolume(storage_nodes(3), stripe_count=2, replica_count=2)
+
+    def test_compute_nodes_rejected(self):
+        nodes = storage_nodes(3) + [Node("c0", NodeKind.COMPUTE)]
+        with pytest.raises(NetworkError, match="not a storage node"):
+            GlusterVolume(nodes, stripe_count=2, replica_count=2)
+
+
+class TestNamespace:
+    def test_create_and_size(self, volume):
+        volume.create_file("vmi-1", 1 << 30)
+        assert volume.has_file("vmi-1")
+        assert volume.file_size("vmi-1") == 1 << 30
+
+    def test_duplicate_rejected(self, volume):
+        volume.create_file("vmi-1", 100)
+        with pytest.raises(NetworkError):
+            volume.create_file("vmi-1", 100)
+
+    def test_upload_records_replicated_traffic(self, volume):
+        volume.create_file("vmi-1", 1 << 20, writer="uploader")
+        # stripe share of each group is size/2, written to 2 replicas each
+        assert volume.ledger.bytes_out_of("uploader") == 2 * (1 << 20)
+
+    def test_missing_file(self, volume):
+        with pytest.raises(NetworkError):
+            volume.file_size("nope")
+
+
+class TestReads:
+    def test_read_records_compute_ingress(self, volume):
+        volume.create_file("vmi-1", 1 << 20)
+        moved = volume.read("vmi-1", 0, 256 * 1024, reader="c0")
+        assert moved == 256 * 1024
+        assert volume.ledger.bytes_into("c0") == 256 * 1024
+
+    def test_reads_split_on_stripe_boundaries(self, volume):
+        volume.create_file("vmi-1", 1 << 20)
+        volume.read("vmi-1", 0, 256 * 1024, reader="c0")  # two stripe units
+        # both replica groups must have served one unit each
+        sources = {t.src for t in volume.ledger.transfers}
+        assert len(sources) == 2
+
+    def test_replica_round_robin_spreads_load(self, volume):
+        volume.create_file("vmi-1", 8 << 20)
+        for _ in range(8):
+            volume.read("vmi-1", 0, 4 << 20, reader="c0")
+        load = volume.storage_read_load()
+        assert all(v > 0 for v in load.values()), f"idle replica: {load}"
+
+    def test_read_past_end_rejected(self, volume):
+        volume.create_file("vmi-1", 1000)
+        with pytest.raises(NetworkError):
+            volume.read("vmi-1", 900, 200, reader="c0")
+
+    def test_read_unknown_file(self, volume):
+        with pytest.raises(NetworkError):
+            volume.read("nope", 0, 10, reader="c0")

@@ -1,0 +1,119 @@
+"""Unit tests for grain content generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import get_codec
+from repro.vmi.content import (
+    GRAIN_SIZE,
+    N_CLASSES,
+    ContentClass,
+    PoolKind,
+    class_of,
+    materialize_block,
+    materialize_grain,
+    sample_block,
+    tag_with_classes,
+)
+
+
+class TestClassTagging:
+    def test_class_encoded_in_low_bits(self):
+        base = np.array([0xDEADBEEF00 << 3], dtype=np.uint64)
+        tagged = tag_with_classes(base, PoolKind.BOOT)
+        assert 1 <= int(tagged[0] & np.uint64(7)) <= N_CLASSES
+
+    def test_same_base_same_class_any_kind_position(self):
+        """A grain shared across releases keeps one identity per kind."""
+        base = np.array([123456789], dtype=np.uint64)
+        a = tag_with_classes(base, PoolKind.BOOT)
+        b = tag_with_classes(base, PoolKind.BOOT)
+        assert a[0] == b[0]
+
+    def test_distribution_roughly_matches_mix(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(1, 1 << 62, size=50_000, dtype=np.uint64)
+        tagged = tag_with_classes(base, PoolKind.USER)
+        classes = class_of(tagged)
+        packed_fraction = (classes == ContentClass.PACKED).mean()
+        assert 0.45 < packed_fraction < 0.55  # USER mix has 50% packed
+
+    def test_kinds_differ_in_mix(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(1, 1 << 62, size=50_000, dtype=np.uint64)
+        boot_packed = (class_of(tag_with_classes(base, PoolKind.BOOT)) == 4).mean()
+        user_packed = (class_of(tag_with_classes(base, PoolKind.USER)) == 4).mean()
+        assert user_packed > boot_packed + 0.2
+
+    def test_class_of_hole_is_zero(self):
+        assert class_of(np.array([0], dtype=np.uint64))[0] == 0
+
+
+class TestMaterialisation:
+    def test_grain_is_1kb(self):
+        for gid in (0, (123 << 3) | 1, (456 << 3) | 2, (789 << 3) | 3, (999 << 3) | 4):
+            assert len(materialize_grain(gid)) == GRAIN_SIZE
+
+    def test_deterministic(self):
+        gid = (424242 << 3) | 2
+        assert materialize_grain(gid) == materialize_grain(gid)
+
+    def test_distinct_ids_distinct_bytes(self):
+        a = materialize_grain((1 << 3) | 2)
+        b = materialize_grain((2 << 3) | 2)
+        assert a != b
+
+    def test_hole_grain_is_zeros(self):
+        assert materialize_grain(0) == bytes(GRAIN_SIZE)
+
+    def test_block_concatenates(self):
+        gids = np.array([(1 << 3) | 1, (2 << 3) | 2], dtype=np.uint64)
+        blob = materialize_block(gids)
+        assert len(blob) == 2 * GRAIN_SIZE
+        assert blob[:GRAIN_SIZE] == materialize_grain(int(gids[0]))
+
+    @pytest.mark.parametrize(
+        ("class_id", "low", "high"),
+        [
+            (int(ContentClass.TEXT), 2.0, 8.0),
+            (int(ContentClass.BINARY), 1.5, 5.0),
+            (int(ContentClass.STRUCTURED), 4.0, 40.0),
+            (int(ContentClass.PACKED), 0.9, 1.15),
+        ],
+    )
+    def test_class_compressibility_bands(self, class_id, low, high):
+        """Each class must land in its designed gzip-6 compressibility band."""
+        rng = np.random.default_rng(7)
+        codec = get_codec("gzip6")
+        block = sample_block(class_id, 65536, rng)
+        ratio = len(block) / codec.compressed_size(block)
+        assert low <= ratio <= high, f"class {class_id}: ratio {ratio:.2f}"
+
+    def test_class_ordering_text_vs_packed(self):
+        rng = np.random.default_rng(3)
+        codec = get_codec("gzip6")
+        text = codec.compressed_size(sample_block(1, 32768, rng))
+        packed = codec.compressed_size(sample_block(4, 32768, rng))
+        assert text < packed
+
+    @given(seed=st.integers(min_value=1, max_value=2**40))
+    @settings(max_examples=20, deadline=None)
+    def test_property_grain_size_and_determinism(self, seed):
+        gid = (seed << 3) | (seed % 4 + 1)
+        data = materialize_grain(gid)
+        assert len(data) == GRAIN_SIZE
+        assert data == materialize_grain(gid)
+
+
+class TestSampleBlock:
+    def test_size_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_block(1, 1000, rng)
+
+    def test_block_is_pure_class(self):
+        rng = np.random.default_rng(0)
+        block = sample_block(3, 4096, rng)
+        assert len(block) == 4096

@@ -1,0 +1,92 @@
+"""Unit tests for the dedup table."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.zfs.ddt import (
+    DDT_ENTRY_CORE_BYTES,
+    DDT_ENTRY_DISK_BYTES,
+    DedupTable,
+)
+
+
+@pytest.fixture
+def ddt():
+    return DedupTable()
+
+
+class TestInsertLookup:
+    def test_insert_creates_refcount_one(self, ddt):
+        entry = ddt.insert("v:01", psize=100, lsize=4096, dva=0, txg=1)
+        assert entry.refcount == 1
+        assert ddt.lookup("v:01") is entry
+
+    def test_lookup_missing_returns_none(self, ddt):
+        assert ddt.lookup("v:99") is None
+
+    def test_double_insert_rejected(self, ddt):
+        ddt.insert("v:01", psize=100, lsize=4096, dva=0, txg=1)
+        with pytest.raises(StorageError, match="already exists"):
+            ddt.insert("v:01", psize=100, lsize=4096, dva=0, txg=1)
+
+
+class TestRefcounting:
+    def test_add_ref_increments(self, ddt):
+        ddt.insert("v:01", psize=100, lsize=4096, dva=0, txg=1)
+        entry = ddt.add_ref("v:01")
+        assert entry.refcount == 2
+
+    def test_add_ref_missing_raises(self, ddt):
+        with pytest.raises(StorageError):
+            ddt.add_ref("v:99")
+
+    def test_remove_ref_returns_none_while_shared(self, ddt):
+        ddt.insert("v:01", psize=100, lsize=4096, dva=0, txg=1)
+        ddt.add_ref("v:01")
+        assert ddt.remove_ref("v:01") is None
+        assert ddt.entry_count == 1
+
+    def test_remove_last_ref_returns_dead_entry(self, ddt):
+        ddt.insert("v:01", psize=100, lsize=4096, dva=7, txg=1)
+        dead = ddt.remove_ref("v:01")
+        assert dead is not None and dead.dva == 7
+        assert ddt.entry_count == 0
+
+    def test_remove_ref_missing_raises(self, ddt):
+        with pytest.raises(StorageError):
+            ddt.remove_ref("v:99")
+
+
+class TestAccounting:
+    def test_disk_bytes_proportional_to_entries(self, ddt):
+        for i in range(10):
+            ddt.insert(f"v:{i:02d}", psize=100, lsize=4096, dva=i, txg=1)
+        assert ddt.on_disk_bytes == 10 * DDT_ENTRY_DISK_BYTES
+
+    def test_core_bytes_include_fixed_overhead(self, ddt):
+        assert ddt.in_core_bytes == 0  # empty table charges nothing
+        ddt.insert("v:01", psize=100, lsize=4096, dva=0, txg=1)
+        assert ddt.in_core_bytes > DDT_ENTRY_CORE_BYTES
+
+    def test_dedup_ratio_empty_is_one(self, ddt):
+        assert ddt.dedup_ratio() == 1.0
+
+    def test_dedup_ratio_counts_references(self, ddt):
+        ddt.insert("v:01", psize=1000, lsize=4096, dva=0, txg=1)
+        ddt.add_ref("v:01")
+        ddt.add_ref("v:01")
+        assert ddt.dedup_ratio() == pytest.approx(3.0)
+
+    def test_referenced_vs_allocated(self, ddt):
+        ddt.insert("v:01", psize=1000, lsize=4096, dva=0, txg=1)
+        ddt.add_ref("v:01")
+        ddt.insert("v:02", psize=500, lsize=4096, dva=1, txg=1)
+        assert ddt.allocated_psize == 1500
+        assert ddt.referenced_psize == 2500
+        assert ddt.total_references == 3
+
+    def test_iteration_and_len(self, ddt):
+        ddt.insert("v:01", psize=1, lsize=1, dva=0, txg=1)
+        ddt.insert("v:02", psize=1, lsize=1, dva=1, txg=1)
+        assert len(ddt) == 2
+        assert {e.checksum for e in ddt} == {"v:01", "v:02"}

@@ -1,0 +1,162 @@
+"""Unit tests for ZPool + ZIO write/read pipeline."""
+
+import pytest
+
+from repro.common.errors import ObjectNotFoundError, StorageError
+from repro.zfs import ZPool
+from repro.zfs.spa import SECTOR_SIZE
+
+
+@pytest.fixture
+def pool():
+    return ZPool(capacity=64 << 20, arc_capacity=1 << 20)
+
+
+@pytest.fixture
+def ds(pool):
+    return pool.create_dataset("cvol", record_size=4096, compression="gzip6", dedup=True)
+
+
+class TestDatasetNamespace:
+    def test_create_and_get(self, pool):
+        created = pool.create_dataset("a")
+        assert pool.dataset("a") is created
+
+    def test_duplicate_rejected(self, pool):
+        pool.create_dataset("a")
+        with pytest.raises(StorageError):
+            pool.create_dataset("a")
+
+    def test_missing_raises(self, pool):
+        with pytest.raises(ObjectNotFoundError):
+            pool.dataset("nope")
+
+    def test_destroy_removes(self, pool):
+        pool.create_dataset("a")
+        pool.destroy_dataset("a")
+        assert not pool.has_dataset("a")
+
+
+class TestBytesPipeline:
+    def test_round_trip(self, ds):
+        data = b"squirrel" * 512  # one full 4 KB record
+        ds.write_block("f", 0, data)
+        assert ds.read_block("f", 0) == data
+
+    def test_zero_block_becomes_hole(self, ds, pool):
+        ds.write_block("f", 0, bytes(4096))
+        assert pool.data_bytes == 0
+        assert ds.file("f").get_block(0).is_hole
+
+    def test_dedup_identical_blocks_allocate_once(self, ds, pool):
+        data = b"x" * 2048 + bytes(2048)
+        ds.write_block("f", 0, data)
+        allocated_after_first = pool.data_bytes
+        ds.write_block("f", 1, data)
+        ds.write_block("g", 0, data)
+        assert pool.data_bytes == allocated_after_first
+        assert pool.ddt.entry_count == 1
+        assert pool.dedup_ratio() == pytest.approx(3.0)
+
+    def test_compression_shrinks_allocation(self, ds, pool):
+        ds.write_block("f", 0, b"a" * 4096)
+        assert 0 < pool.data_bytes < 4096
+
+    def test_incompressible_allocates_raw(self, pool):
+        import numpy as np
+
+        ds = pool.create_dataset("raw", record_size=4096)
+        rng = np.random.default_rng(1)
+        data = bytes(rng.integers(0, 256, 4096, dtype=np.uint8))
+        ds.write_block("f", 0, data)
+        assert pool.data_bytes == 4096
+        assert ds.read_block("f", 0) == data
+
+    def test_oversized_block_rejected(self, ds):
+        with pytest.raises(StorageError):
+            ds.write_block("f", 0, b"x" * 8192)
+
+    def test_write_file_and_read_file(self, ds):
+        data = b"kernel" * 3000  # ~18 KB, several records
+        ds.write_file("vmlinuz", data)
+        assert ds.read_file("vmlinuz") == data
+
+    def test_sparse_file_holes_read_as_zeros(self, ds):
+        ds.write_block("f", 3, b"y" * 4096)
+        assert ds.read_block("f", 0) == bytes(4096)
+        assert ds.file("f").get_block(0).is_hole
+
+
+class TestVirtualPipeline:
+    def test_virtual_write_accounts_without_bytes(self, ds, pool):
+        ds.write_block_virtual("f", 0, signature=42, lsize=4096, psize=1000)
+        assert pool.data_bytes == ((1000 + SECTOR_SIZE - 1) // SECTOR_SIZE) * SECTOR_SIZE
+        assert pool.ddt.entry_count == 1
+
+    def test_virtual_dedup(self, ds, pool):
+        ds.write_block_virtual("f", 0, signature=42, lsize=4096, psize=1000)
+        ds.write_block_virtual("f", 1, signature=42, lsize=4096, psize=1000)
+        assert pool.ddt.entry_count == 1
+        assert pool.ddt.lookup("v:" + format(42, "016x")).refcount == 2
+
+    def test_virtual_hole(self, ds, pool):
+        ds.write_block_virtual("f", 0, signature=0, lsize=4096, psize=0, is_hole=True)
+        assert pool.data_bytes == 0
+
+    def test_virtual_read_raises(self, ds):
+        ds.write_block_virtual("f", 0, signature=42, lsize=4096, psize=1000)
+        with pytest.raises(StorageError, match="image provider"):
+            ds.read_block("f", 0)
+
+    def test_virtual_psize_bounds_checked(self, ds):
+        with pytest.raises(StorageError):
+            ds.write_block_virtual("f", 0, signature=1, lsize=4096, psize=5000)
+
+    def test_virtual_and_bytes_namespaces_disjoint(self, ds, pool):
+        ds.write_block("f", 0, b"z" * 4096)
+        ds.write_block_virtual("f", 1, signature=7, lsize=4096, psize=100)
+        assert pool.ddt.entry_count == 2
+
+
+class TestPlainMode:
+    def test_no_dedup_when_disabled(self, pool):
+        ds = pool.create_dataset("xfs", record_size=4096, compression="off", dedup=False)
+        data = b"q" * 4096
+        ds.write_block("f", 0, data)
+        ds.write_block("f", 1, data)
+        assert pool.ddt.entry_count == 0  # charged DDT untouched
+        assert pool.data_bytes == 8192
+        assert ds.read_block("f", 1) == data
+
+    def test_plain_free_reclaims(self, pool):
+        ds = pool.create_dataset("xfs", record_size=4096, compression="off", dedup=False)
+        ds.write_block("f", 0, b"q" * 4096)
+        ds.delete_file("f")
+        assert pool.data_bytes == 0
+
+
+class TestAccounting:
+    def test_stats_snapshot(self, ds, pool):
+        ds.write_block("f", 0, b"m" * 4096)
+        stats = pool.stats()
+        assert stats.data_bytes == pool.data_bytes
+        assert stats.ddt_entries == 1
+        assert stats.disk_used_bytes == stats.data_bytes + stats.ddt_disk_bytes
+        assert stats.memory_used_bytes == stats.ddt_core_bytes + stats.arc_bytes
+
+    def test_free_on_overwrite(self, ds, pool):
+        ds.write_block("f", 0, b"a" * 4096)
+        before = pool.data_bytes
+        ds.write_block("f", 0, b"b" * 4096)
+        assert pool.data_bytes == before  # same compressibility, old freed
+
+    def test_delete_file_reclaims_all(self, ds, pool):
+        ds.write_file("f", b"a" * 40960)
+        ds.delete_file("f")
+        assert pool.data_bytes == 0
+        assert pool.ddt.entry_count == 0
+
+    def test_txg_monotonic(self, pool):
+        first = pool.advance_txg()
+        second = pool.advance_txg()
+        assert second == first + 1

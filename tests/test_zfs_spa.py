@@ -1,0 +1,78 @@
+"""Unit tests for the space allocator."""
+
+import pytest
+
+from repro.common.errors import PoolFullError
+from repro.zfs.spa import SECTOR_SIZE, SpaceMap
+
+
+class TestAllocate:
+    def test_offsets_are_write_ordered(self):
+        spa = SpaceMap(capacity=1 << 20)
+        first = spa.allocate(1024)
+        second = spa.allocate(1024)
+        assert second > first
+
+    def test_sector_alignment_charged(self):
+        spa = SpaceMap(capacity=1 << 20)
+        spa.allocate(1)
+        assert spa.allocated_bytes == SECTOR_SIZE
+
+    def test_pool_full_raises(self):
+        spa = SpaceMap(capacity=1024)
+        spa.allocate(1024)
+        with pytest.raises(PoolFullError):
+            spa.allocate(1)
+
+    def test_rejects_nonpositive_size(self):
+        spa = SpaceMap(capacity=1024)
+        with pytest.raises(ValueError):
+            spa.allocate(0)
+
+
+class TestFree:
+    def test_free_returns_aligned_size(self):
+        spa = SpaceMap(capacity=1 << 20)
+        dva = spa.allocate(700)
+        assert spa.free(dva) == 1024
+        assert spa.allocated_bytes == 0
+
+    def test_freed_capacity_is_reusable(self):
+        spa = SpaceMap(capacity=2048)
+        dva = spa.allocate(2048)
+        spa.free(dva)
+        spa.allocate(2048)  # must not raise
+
+    def test_double_free_raises(self):
+        spa = SpaceMap(capacity=1 << 20)
+        dva = spa.allocate(512)
+        spa.free(dva)
+        with pytest.raises(PoolFullError):
+            spa.free(dva)
+
+    def test_unknown_dva_raises(self):
+        spa = SpaceMap(capacity=1 << 20)
+        with pytest.raises(PoolFullError):
+            spa.free(12345)
+
+
+class TestCounters:
+    def test_high_water_never_shrinks(self):
+        spa = SpaceMap(capacity=1 << 20)
+        a = spa.allocate(1024)
+        spa.allocate(1024)
+        spa.free(a)
+        assert spa.high_water_offset == 2048
+
+    def test_allocation_counts(self):
+        spa = SpaceMap(capacity=1 << 20)
+        a = spa.allocate(512)
+        spa.allocate(512)
+        spa.free(a)
+        assert spa.allocation_count == 1
+        assert spa.total_allocations == 2
+
+    def test_free_bytes(self):
+        spa = SpaceMap(capacity=4096)
+        spa.allocate(1024)
+        assert spa.free_bytes == 3072
