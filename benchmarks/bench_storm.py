@@ -1,0 +1,49 @@
+"""Timed boot storm: latency percentiles for the 64x8 flash crowd.
+
+The acceptance bar for the event engine: the full 512-VM storm (both sides)
+simulates in under 30 s of wall clock, Squirrel's compute ingress is zero,
+and a same-seed re-run reproduces the Timeline bit-for-bit.
+"""
+
+import time
+
+from repro.experiments import storm_timeline as exp
+from repro.workload import StormConfig, boot_storm
+
+
+def test_storm_timeline(benchmark, record_result):
+    started = time.perf_counter()
+    result = benchmark.pedantic(exp.run, rounds=1)
+    wall = time.perf_counter() - started
+    record_result(exp.EXPERIMENT_ID, exp.render(result))
+    report = result.report
+
+    assert wall < 30.0, f"64x8 storm took {wall:.1f}s wall-clock"
+    # Squirrel: every boot a local hit, zero bytes into compute nodes
+    assert report.squirrel.boots == 512
+    assert report.squirrel.cache_hits == 512
+    assert report.squirrel.compute_ingress_bytes == 0
+    # both sides report full percentile ladders
+    for side in (report.squirrel, report.baseline):
+        stats = side.latency
+        assert 0.0 < stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+    # the storm is the point: cold reads queue behind four bricks
+    assert report.baseline.latency.p50 > 50 * report.squirrel.latency.p50
+
+    # same seed, fresh rig: bit-identical Timeline on both sides
+    again = boot_storm(result.config)
+    assert again.squirrel.summary == report.squirrel.summary
+    assert again.baseline.summary == report.baseline.summary
+
+
+def test_storm_smoke_4node(record_result):
+    """CI-sized smoke: 4 compute nodes, seconds of wall clock."""
+    config = StormConfig(n_nodes=4, vms_per_node=4, ramp_s=10.0, seed=7)
+    report = boot_storm(config)
+    record_result(
+        "storm_smoke",
+        exp.render(exp.StormTimelineResult(config=config, report=report)),
+    )
+    assert report.squirrel.boots == 16
+    assert report.squirrel.compute_ingress_bytes == 0
+    assert report.baseline.latency.p50 > report.squirrel.latency.p50

@@ -31,9 +31,11 @@ from .experiments import (
     fig13_incremental,
     fig18_network_transfer,
     fits,
+    storm_timeline,
     tab01_storage_chain,
     tab02_os_diversity,
 )
+from .workload import StormConfig
 
 
 def _simple(module) -> Callable[[ExperimentContext], str]:
@@ -77,6 +79,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], str]]] = {
     "fig14": ("Figures 14/15 + Table 3: disk fits", _fits_disk),
     "fig16": ("Figures 16/17 + Table 4: memory fits", _fits_memory),
     "fig18": ("Figure 18: network transfer", _simple(fig18_network_transfer)),
+    "storm": ("Timed boot storm: latency percentiles", _simple(storm_timeline)),
 }
 #: aliases so every figure/table id resolves
 ALIASES = {"fig15": "fig14", "fig17": "fig16", "tab03": "fig14", "tab04": "fig16"}
@@ -92,6 +95,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--quick", type=int, default=1, help="keep every N-th image (default 1)"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=64, help="storm: compute nodes (default 64)"
+    )
+    parser.add_argument(
+        "--vms-per-node", type=int, default=8, help="storm: VMs per node (default 8)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="storm: arrival-trace seed (default 0)"
     )
     args = parser.parse_args(argv)
 
@@ -110,6 +122,13 @@ def main(argv: list[str] | None = None) -> int:
         if key not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; try 'list'")
         title, runner = EXPERIMENTS[key]
+        if key == "storm":
+            storm_config = StormConfig(
+                n_nodes=args.nodes, vms_per_node=args.vms_per_node, seed=args.seed
+            )
+            runner = lambda ctx: storm_timeline.render(  # noqa: E731
+                storm_timeline.run(ctx, config=storm_config)
+            )
         started = time.perf_counter()
         print(f"== {title} ==")
         print(runner(ctx))

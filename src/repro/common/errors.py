@@ -51,6 +51,10 @@ class NetworkError(ReproError):
     """The network/cluster simulator hit an inconsistent state."""
 
 
+class SimulationError(ReproError):
+    """The discrete-event engine hit an inconsistent state."""
+
+
 class RegistrationError(ReproError):
     """A Squirrel register/deregister operation failed."""
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from ..common.errors import NetworkError
 from ..vmi.dataset import AzureCommunityDataset
-from .squirrel import BOOT_READ_AMPLIFICATION, Squirrel
+from .squirrel import Squirrel, cold_read_bytes
 
 __all__ = ["BootStormResult", "run_boot_storm", "full_copy_transfer_bytes"]
 
@@ -73,13 +73,8 @@ def run_boot_storm(
                 hits += outcome.cache_hit
             else:
                 spec = dataset.images[image_id]
-                to_read = min(
-                    int(min(spec.cache_bytes, spec.nonzero_bytes)
-                        * BOOT_READ_AMPLIFICATION),
-                    spec.nonzero_bytes,
-                )
                 cluster.storage.gluster.read(
-                    f"vmi-{image_id:05d}", 0, to_read,
+                    f"vmi-{image_id:05d}", 0, cold_read_bytes(spec),
                     reader=node.name, purpose="boot-read",
                 )
             boots += 1

@@ -65,6 +65,13 @@ class IaaSCluster:
     compute: list[ComputeNode]
     storage: StorageTier
     ledger: TransferLedger
+    #: name → node index; once workloads schedule per-node events, node()
+    #: is on the hot path and a linear scan would be O(n) per event
+    _by_name: dict[str, ComputeNode] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_name:
+            self._by_name = {node.name: node for node in self.compute}
 
     @classmethod
     def build(
@@ -119,10 +126,10 @@ class IaaSCluster:
         return [node for node in self.compute if node.online]
 
     def node(self, name: str) -> ComputeNode:
-        for node in self.compute:
-            if node.name == name:
-                return node
-        raise NetworkError(f"no compute node {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise NetworkError(f"no compute node {name!r}") from None
 
     def compute_ingress_bytes(self, *, purpose: str | None = None) -> int:
         """Figure 18's metric over this cluster's compute nodes."""

@@ -35,7 +35,7 @@ from ..zfs import SendStream, generate_send, receive
 from ..net import multicast
 from .cluster import ComputeNode, IaaSCluster
 
-__all__ = ["Squirrel", "BootOutcome", "RegistrationRecord"]
+__all__ = ["Squirrel", "BootOutcome", "RegistrationRecord", "cold_read_bytes"]
 
 
 #: Network read amplification of a cold (no-cache) boot: the boot working
@@ -52,6 +52,15 @@ BOOT_READ_AMPLIFICATION = 2.5
 REGISTRATION_BOOT_SECONDS = 20.0
 #: creating a read-only ZFS snapshot is effectively instantaneous
 SNAPSHOT_CREATE_SECONDS = 0.2
+
+
+def cold_read_bytes(spec: ImageSpec) -> int:
+    """Bytes a no-cache boot pulls over the network (Figure 18's unit)."""
+    to_read = align_up(
+        int(min(spec.cache_bytes, spec.nonzero_bytes) * BOOT_READ_AMPLIFICATION),
+        QCOW2_CLUSTER_SIZE,
+    )
+    return min(to_read, spec.nonzero_bytes)
 
 
 def _cache_file_name(image_id: int) -> str:
@@ -183,14 +192,22 @@ class Squirrel:
 
     def _propagate(self, stream: SendStream):
         online = self.cluster.online_nodes()
+        # a node that is online but stale (came back from downtime without a
+        # resync) cannot apply this diff — receiving it would corrupt the
+        # replica or fail the incremental precondition. Skip it; it catches
+        # up through resync_node's ordered replay.
+        ready = [
+            node for node in online
+            if node.synced_snapshot == stream.from_snapshot
+        ]
         result = multicast(
             self.cluster.ledger,
             self.cluster.storage.primary,
-            [node.node for node in online],
+            [node.node for node in ready],
             stream.size_bytes,
             purpose="cache-propagation",
         )
-        for node in online:
+        for node in ready:
             receive(node.ccvolume, stream)
             node.synced_snapshot = stream.to_snapshot
         return result
@@ -204,24 +221,34 @@ class Squirrel:
         lacks the cache (offline during registration and not yet resynced)
         reads the boot working set from the parallel FS, copy-on-read style.
         """
+        outcome, _plan = self.boot_with_plan(image_id, node_name)
+        return outcome
+
+    def boot_with_plan(self, image_id: int, node_name: str):
+        """Boot and also return the per-brick service plan of the cold path
+        (empty on a cache hit) — the hook the event engine schedules timed
+        transfers from. Accounting is identical to :meth:`boot`.
+        """
         spec = self._registered.get(image_id)
         if spec is None:
             raise RegistrationError(f"image {image_id} is not registered")
         node = self.cluster.node(node_name)
         cache_file = _cache_file_name(image_id)
         if node.online and node.ccvolume.has_file(cache_file):
-            return BootOutcome(image_id, node_name, cache_hit=True, network_bytes=0)
+            return (
+                BootOutcome(image_id, node_name, cache_hit=True, network_bytes=0),
+                [],
+            )
         # cold path: QCOW2 cluster-granular reads of the boot set over the net
-        to_read = align_up(
-            int(min(spec.cache_bytes, spec.nonzero_bytes) * BOOT_READ_AMPLIFICATION),
-            QCOW2_CLUSTER_SIZE,
-        )
-        to_read = min(to_read, spec.nonzero_bytes)
         vmi_name = f"vmi-{image_id:05d}"
-        moved = self.cluster.storage.gluster.read(
-            vmi_name, 0, to_read, reader=node_name, purpose="boot-read"
+        moved, plan = self.cluster.storage.gluster.read_with_plan(
+            vmi_name, 0, cold_read_bytes(spec), reader=node_name,
+            purpose="boot-read",
         )
-        return BootOutcome(image_id, node_name, cache_hit=False, network_bytes=moved)
+        return (
+            BootOutcome(image_id, node_name, cache_hit=False, network_bytes=moved),
+            plan,
+        )
 
     # -- deregister + GC (Section 3.4) --------------------------------------------------
 
@@ -261,8 +288,14 @@ class Squirrel:
     def resync_node(self, node_name: str) -> int:
         """Bring a (re-)joining node's ccVolume in sync; returns bytes moved.
 
-        Incremental when the node's last synced snapshot still exists on the
-        scVolume; otherwise the entire scVolume is replicated from scratch.
+        When the node's last synced snapshot still exists on the scVolume,
+        catch-up **replays every missed incremental send in snapshot order**
+        — the node ends with the same snapshot chain every never-offline
+        node has, so later diffs and GC see no difference between them. A
+        single base→latest jump diff would leave the intermediate snapshots
+        missing on the replica and its chain diverged from the scVolume's.
+        When the base fell out of the GC window (or the node is brand new),
+        the entire scVolume is replicated from scratch.
         """
         node = self.cluster.node(node_name)
         node.online = True
@@ -273,14 +306,30 @@ class Squirrel:
         if node.synced_snapshot == latest.name:
             return 0
         base = node.synced_snapshot
+        moved = 0
         if base is not None and scvol.has_snapshot(base):
-            stream = generate_send(
-                scvol, latest.name, from_snapshot=base, include_payloads=False
-            )
+            chain = [snap.name for snap in scvol.snapshots()]
+            start = chain.index(base)
+            for from_snap, to_snap in zip(chain[start:], chain[start + 1:]):
+                stream = generate_send(
+                    scvol, to_snap, from_snapshot=from_snap,
+                    include_payloads=False,
+                )
+                moved += self._ship_to_node(node, stream)
         else:
             # fell out of the window (or brand-new node): full replication
             self._reset_ccvolume(node)
             stream = generate_send(scvol, latest.name, include_payloads=False)
+            moved = self._ship_to_node(node, stream)
+        # drop node-local snapshots the scVolume no longer has (GC ran while
+        # the node was away); frees the space their deadlists pin
+        for snap in list(node.ccvolume.snapshots()):
+            if not scvol.has_snapshot(snap.name):
+                node.ccvolume.destroy_snapshot(snap.name)
+        return moved
+
+    def _ship_to_node(self, node: ComputeNode, stream: SendStream) -> int:
+        """Unicast one send stream to a node and apply it."""
         duration = node.node.link.transfer_time(stream.size_bytes)
         self.cluster.ledger.record(
             self.cluster.storage.primary.name,
@@ -290,12 +339,7 @@ class Squirrel:
             duration,
         )
         receive(node.ccvolume, stream)
-        node.synced_snapshot = latest.name
-        # drop node-local snapshots the scVolume no longer has (GC ran while
-        # the node was away); frees the space their deadlists pin
-        for snap in list(node.ccvolume.snapshots()):
-            if not scvol.has_snapshot(snap.name):
-                node.ccvolume.destroy_snapshot(snap.name)
+        node.synced_snapshot = stream.to_snapshot
         return stream.size_bytes
 
     def _reset_ccvolume(self, node: ComputeNode) -> None:
@@ -316,6 +360,9 @@ class Squirrel:
 
     def registered_ids(self) -> list[int]:
         return sorted(self._registered)
+
+    def is_registered(self, image_id: int) -> bool:
+        return image_id in self._registered
 
     def cache_file_of(self, image_id: int) -> str:
         return _cache_file_name(image_id)

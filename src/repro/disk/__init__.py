@@ -1,6 +1,13 @@
 """Rotational disk / RAID-0 service-time models (DAS-4 node storage)."""
 
-from .model import DAS4_DISK, DAS4_RAID0, DiskModel, DiskProfile
+from .model import DAS4_DISK, DAS4_RAID0, DiskModel, DiskProfile, TimedDisk
 from .streams import MultiStreamDisk
 
-__all__ = ["DAS4_DISK", "DAS4_RAID0", "DiskModel", "DiskProfile", "MultiStreamDisk"]
+__all__ = [
+    "DAS4_DISK",
+    "DAS4_RAID0",
+    "DiskModel",
+    "DiskProfile",
+    "MultiStreamDisk",
+    "TimedDisk",
+]

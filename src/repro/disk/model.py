@@ -114,3 +114,46 @@ class DiskModel:
     @property
     def head_offset(self) -> int:
         return self._head
+
+
+class TimedDisk:
+    """Event-engine front end for a :class:`DiskModel`.
+
+    The service-time hook the simulation kernel drives: requests are
+    serialised through a single-actuator :class:`repro.sim.Resource` (one
+    outstanding mechanical operation at a time — queueing delay emerges when
+    several VM boots hit one node's disk), and each request charges the
+    stateful seek/rotation/transfer model's service time on the simulated
+    clock.
+    """
+
+    def __init__(self, engine, model: DiskModel, *, name: str | None = None) -> None:
+        from ..sim import Resource  # local import: keep repro.disk importable alone
+
+        self.engine = engine
+        self.model = model
+        self.name = name or model.profile.name
+        self._actuator = Resource(engine, capacity=1, name=self.name)
+
+    def read(self, offset: int, size: int):
+        """Process completing when the read has been served; value is the
+        service time (seconds) this request spent at the platter."""
+        return self.engine.process(
+            self._serve(offset, size), label=f"{self.name}:read"
+        )
+
+    def write(self, offset: int, size: int):
+        """Writes cost the same positioning + transfer as reads here."""
+        return self.engine.process(
+            self._serve(offset, size), label=f"{self.name}:write"
+        )
+
+    def _serve(self, offset: int, size: int):
+        grant = self._actuator.request()
+        yield grant
+        try:
+            elapsed = self.model.read(offset, size)
+            yield self.engine.timeout(elapsed)
+        finally:
+            self._actuator.release()
+        return elapsed

@@ -16,6 +16,7 @@ from . import (
     fig13_incremental,
     fig18_network_transfer,
     fits,
+    storm_timeline,
     tab01_storage_chain,
     tab02_os_diversity,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "fig13_incremental",
     "fig18_network_transfer",
     "fits",
+    "storm_timeline",
     "tab01_storage_chain",
     "tab02_os_diversity",
 ]

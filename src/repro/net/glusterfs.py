@@ -98,6 +98,22 @@ class GlusterVolume:
     def read(self, name: str, offset: int, length: int, *, reader: str,
              purpose: str = "boot-read") -> int:
         """Read a byte range to ``reader``; returns bytes moved over the net."""
+        moved, _plan = self.read_with_plan(
+            name, offset, length, reader=reader, purpose=purpose
+        )
+        return moved
+
+    def read_with_plan(
+        self, name: str, offset: int, length: int, *, reader: str,
+        purpose: str = "boot-read",
+    ) -> tuple[int, list[tuple[Node, int]]]:
+        """Read a byte range and also return the per-brick service plan.
+
+        The plan aggregates the stripe-unit chunks by serving storage node —
+        the service-time hook the event engine drives: each ``(node, bytes)``
+        entry becomes a timed transfer through that brick's uplink pipe,
+        while the ledger accounting stays identical to a plain :meth:`read`.
+        """
         meta = self._files.get(name)
         if meta is None:
             raise NetworkError(f"no file {name!r}")
@@ -106,14 +122,19 @@ class GlusterVolume:
         moved = 0
         position = offset
         end = offset + length
+        per_node: dict[str, int] = {}
+        nodes: dict[str, Node] = {}
         while position < end:
             stripe_end = (position // self.stripe_unit + 1) * self.stripe_unit
             chunk = min(end, stripe_end) - position
             node = self.serving_node(position)
             self.ledger.record(node.name, reader, chunk, purpose)
+            per_node[node.name] = per_node.get(node.name, 0) + chunk
+            nodes[node.name] = node
             moved += chunk
             position += chunk
-        return moved
+        plan = [(nodes[name_], per_node[name_]) for name_ in sorted(per_node)]
+        return moved, plan
 
     def storage_read_load(self) -> dict[str, int]:
         """Bytes served per storage node (the storage-bottleneck view)."""

@@ -49,6 +49,18 @@ class LinkProfile:
             raise NetworkError("negative transfer size")
         return self.latency_s + n_bytes * max(1, streams) / self.bytes_per_s
 
+    def make_pipe(self, engine, *, name: str | None = None):
+        """Service-time hook for the event engine: this link as a shared
+        :class:`repro.sim.Pipe` (processor-sharing at the NIC's payload
+        rate), so concurrent timed transfers contend realistically instead
+        of using the closed-form ``transfer_time`` bound."""
+        from ..sim import Pipe  # local import: keep repro.net importable alone
+
+        return Pipe(
+            engine, self.bytes_per_s, latency_s=self.latency_s,
+            name=name or self.name,
+        )
+
 
 #: commodity gigabit Ethernet (DAS-4's default fabric)
 GBE_1 = LinkProfile("1GbE", 1e9, 120e-6)

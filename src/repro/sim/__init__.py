@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel: clock, processes, contention, metrics."""
+
+from .engine import Engine, Event, Process, all_of
+from .resources import Pipe, Resource
+from .timeline import HistogramStats, Timeline
+
+__all__ = [
+    "Engine",
+    "Event",
+    "HistogramStats",
+    "Pipe",
+    "Process",
+    "Resource",
+    "Timeline",
+    "all_of",
+]

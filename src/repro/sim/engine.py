@@ -1,0 +1,211 @@
+"""Discrete-event simulation kernel.
+
+The accounting layer (`repro.core`, `repro.net`) answers *how many bytes*
+move; this engine answers *when*. It is a from-scratch, dependency-free
+kernel in the SimPy mould, specialised for what the cluster model needs:
+
+* a monotonic simulated clock (:attr:`Engine.now`, seconds),
+* a binary-heap event queue with **deterministic tie-breaking**: events
+  scheduled for the same instant are ordered by a pseudo-random draw from a
+  dedicated :mod:`repro.common.rng` stream keyed by the engine seed (so the
+  order is reproducible bit-for-bit per seed, yet decorrelated from
+  scheduling order), with a monotonic sequence number as the final word,
+* lightweight generator-based processes: a process is a plain generator
+  that ``yield``\\ s :class:`Event` objects and is resumed with their values,
+* an optional event trace for determinism tests and debugging.
+
+Contention primitives (:class:`~repro.sim.resources.Resource`,
+:class:`~repro.sim.resources.Pipe`) and metrics
+(:class:`~repro.sim.timeline.Timeline`) live in sibling modules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+from ..common.errors import SimulationError
+from ..common.rng import stream as rng_stream
+
+__all__ = ["Engine", "Event", "Process", "all_of"]
+
+
+class Event:
+    """One future occurrence; processes wait on it by ``yield``-ing it."""
+
+    __slots__ = ("engine", "label", "callbacks", "_triggered", "_scheduled", "_value")
+
+    def __init__(self, engine: "Engine", label: str | None = None) -> None:
+        self.engine = engine
+        self.label = label
+        self.callbacks: list = []
+        self._triggered = False
+        self._scheduled = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.label or id(self)} not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Trigger this event ``delay`` seconds from now (default: now)."""
+        self.engine._schedule_trigger(self, value, delay)
+        return self
+
+    # -- engine internals ---------------------------------------------------------
+
+    def _fire(self, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.label or id(self)} triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _wait(self, callback) -> None:
+        """Register ``callback``; runs immediately if already triggered."""
+        if self._triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Process(Event):
+    """A running generator; itself an event that triggers on return.
+
+    The generator yields :class:`Event` objects; each resume sends the
+    triggered event's value back into the generator. ``return value`` inside
+    the generator becomes the process event's value.
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(
+        self, engine: "Engine", generator: Generator, label: str | None = None
+    ) -> None:
+        super().__init__(engine, label)
+        self._generator = generator
+
+    def _step(self, fired: Event | None) -> None:
+        try:
+            if fired is None:
+                target = next(self._generator)
+            else:
+                target = self._generator.send(fired.value)
+        except StopIteration as stop:
+            self._fire(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.label or id(self)} yielded {type(target).__name__}; "
+                "processes may only yield Event objects"
+            )
+        target._wait(self._step)
+
+
+def all_of(engine: "Engine", events: Iterable[Event], label: str | None = None) -> Event:
+    """Event triggering once every event in ``events`` has; value is the
+    list of their values, in input order."""
+    pending = list(events)
+    gathered = Event(engine, label)
+    remaining = len(pending)
+    if remaining == 0:
+        gathered.succeed([])
+        return gathered
+    counter = [remaining]
+
+    def on_done(_event: Event) -> None:
+        counter[0] -= 1
+        if counter[0] == 0:
+            gathered._fire([e.value for e in pending])
+
+    for event in pending:
+        event._wait(on_done)
+    return gathered
+
+
+class Engine:
+    """The event loop: clock + heap queue + process scheduler."""
+
+    def __init__(self, *, seed: int | str = 0, trace: bool = False) -> None:
+        self.seed = seed
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event, Any]] = []
+        self._seq = 0
+        #: dedicated tie-break stream: same seed -> same total event order
+        self._tiebreak = rng_stream("sim-engine-tiebreak", seed)
+        self.trace: list[tuple[float, str]] | None = [] if trace else None
+
+    # -- clock --------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------------
+
+    def event(self, label: str | None = None) -> Event:
+        return Event(self, label)
+
+    def timeout(self, delay: float, value: Any = None, label: str | None = None) -> Event:
+        """Event that triggers ``delay`` seconds from now."""
+        return Event(self, label).succeed(value, delay=delay)
+
+    def process(self, generator: Generator, label: str | None = None) -> Process:
+        """Start a generator as a process (first step runs at the current
+        instant, through the queue, so creation order does not leak into
+        execution order beyond the tie-break rule)."""
+        proc = Process(self, generator, label)
+        start = Event(self, label and f"start:{label}")
+        start.callbacks.append(lambda _e: proc._step(None))
+        self._push(start, None, 0.0)
+        return proc
+
+    def all_of(self, events: Iterable[Event], label: str | None = None) -> Event:
+        return all_of(self, events, label)
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _schedule_trigger(self, event: Event, value: Any, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        if event._triggered or event._scheduled:
+            raise SimulationError(f"event {event.label or id(event)} triggered twice")
+        event._scheduled = True
+        self._push(event, value, delay)
+
+    def _push(self, event: Event, value: Any, delay: float) -> None:
+        self._seq += 1
+        tiebreak = int(self._tiebreak.integers(0, 1 << 62))
+        heapq.heappush(self._heap, (self._now + delay, tiebreak, self._seq, event, value))
+
+    # -- the loop -----------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the queue (or stop once the clock would pass ``until``);
+        returns the final simulated time."""
+        while self._heap:
+            time, _tiebreak, _seq, event, value = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            if time < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = time
+            if self.trace is not None and event.label is not None:
+                self.trace.append((time, event.label))
+            event._fire(value)
+        return self._now
+
+    def peek(self) -> float | None:
+        """Time of the next queued event, or None when drained."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,175 @@
+"""Shared contention primitives for the event engine.
+
+* :class:`Resource` — a counted, FIFO-queued resource (CPU cores for
+  decompression, a disk's single actuator, VM slots).
+* :class:`Pipe` — a processor-sharing bandwidth channel (a NIC, a glusterfs
+  brick's uplink): ``n`` concurrent flows each progress at ``rate / n``, and
+  completion times are re-computed whenever a flow joins or leaves — the
+  classic fluid model of fair-shared TCP flows on one link, which is exactly
+  the contention a boot storm exercises.
+
+Both record their interesting moments into an optional
+:class:`~repro.sim.timeline.Timeline`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..common.errors import SimulationError
+from .engine import Engine, Event
+
+__all__ = ["Resource", "Pipe"]
+
+
+class Resource:
+    """``capacity`` slots, granted strictly in request order."""
+
+    def __init__(
+        self, engine: Engine, capacity: int = 1, *, name: str | None = None
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: deque[Event] = deque()
+        #: grants handed out, for utilisation reporting
+        self.total_grants = 0
+
+    def request(self) -> Event:
+        """Event that triggers when a slot is granted (yield it)."""
+        grant = self.engine.event(self.name and f"{self.name}:grant")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.total_grants += 1
+            grant.succeed()
+        else:
+            self._waiting.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one slot; the longest-waiting request (if any) gets it."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiting:
+            grant = self._waiting.popleft()
+            self.total_grants += 1
+            grant.succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+
+class _Flow:
+    __slots__ = ("remaining", "event", "n_bytes")
+
+    def __init__(self, n_bytes: float, event: Event) -> None:
+        self.n_bytes = n_bytes
+        self.remaining = float(n_bytes)
+        self.event = event
+
+
+class Pipe:
+    """Fair-shared bandwidth channel: the fluid flow model.
+
+    A transfer of ``n`` bytes on an otherwise idle pipe of rate ``r``
+    completes after ``latency + n/r`` seconds; with ``k`` concurrent flows
+    every flow drains at ``r/k``. Joins and departures trigger a re-plan of
+    the next departure (lazy wake tokens make superseded plans inert).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_bytes_per_s: float,
+        *,
+        latency_s: float = 0.0,
+        name: str | None = None,
+    ) -> None:
+        if rate_bytes_per_s <= 0:
+            raise SimulationError("pipe rate must be positive")
+        self.engine = engine
+        self.rate = float(rate_bytes_per_s)
+        self.latency_s = latency_s
+        self.name = name
+        self._flows: list[_Flow] = []
+        self._last_update = 0.0
+        self._plan_version = 0
+        #: flows the current plan expects to depart at the next wake; they
+        #: are force-completed then, so float residue (a planned drain can
+        #: miss zero by an ulp of a multi-GB count) can never stall the pipe
+        self._plan_head: list[_Flow] = []
+        #: lifetime accounting for utilisation reports
+        self.total_bytes = 0
+        self.total_flows = 0
+        self.busy_seconds = 0.0
+
+    # -- public API ---------------------------------------------------------------
+
+    def transfer(self, n_bytes: int, label: str | None = None) -> Event:
+        """Event that triggers when ``n_bytes`` have drained through the
+        shared pipe (plus the fixed link latency)."""
+        if n_bytes < 0:
+            raise SimulationError("negative transfer size")
+        done = self.engine.event(label or (self.name and f"{self.name}:done"))
+        self.total_bytes += n_bytes
+        self.total_flows += 1
+        if n_bytes == 0:
+            done.succeed(0, delay=self.latency_s)
+            return done
+        self._advance()
+        self._flows.append(_Flow(n_bytes, done))
+        self._replan()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # -- fluid bookkeeping --------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Drain all active flows by the time elapsed since the last event."""
+        now = self.engine.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if not self._flows or elapsed <= 0.0:
+            return
+        share = elapsed * self.rate / len(self._flows)
+        for flow in self._flows:
+            flow.remaining -= share
+        self.busy_seconds += elapsed
+
+    def _replan(self) -> None:
+        """Schedule a wake at the next departure; invalidate older plans."""
+        self._plan_version += 1
+        if not self._flows:
+            self._plan_head = []
+            return
+        version = self._plan_version
+        head = min(flow.remaining for flow in self._flows)
+        tolerance = head * 1e-12 + 1e-12
+        self._plan_head = [
+            flow for flow in self._flows if flow.remaining <= head + tolerance
+        ]
+        dt = max(0.0, head * len(self._flows) / self.rate)
+        wake = self.engine.event(self.name and f"{self.name}:wake")
+        wake.callbacks.append(lambda _e: self._on_wake(version))
+        wake.succeed(delay=dt)
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._plan_version:
+            return  # superseded by a join/leave since this was planned
+        self._advance()
+        for flow in self._plan_head:
+            flow.remaining = 0.0  # this wake IS their departure
+        finished = [f for f in self._flows if f.remaining <= 0.0]
+        self._flows = [f for f in self._flows if f.remaining > 0.0]
+        for flow in finished:
+            flow.event.succeed(flow.n_bytes, delay=self.latency_s)
+        self._replan()

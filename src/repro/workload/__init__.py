@@ -1,0 +1,42 @@
+"""Multi-tenant workload engine: who boots what, when — and how long it takes."""
+
+from .arrivals import (
+    DAY_S,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    poisson_arrivals,
+)
+from .scenarios import (
+    ChurnConfig,
+    ChurnReport,
+    DayConfig,
+    DayReport,
+    StormConfig,
+    StormReport,
+    StormSide,
+    TimedSquirrel,
+    boot_storm,
+    register_churn,
+    steady_state_day,
+)
+from .tenants import Tenant, TenantPopulation
+
+__all__ = [
+    "DAY_S",
+    "ChurnConfig",
+    "ChurnReport",
+    "DayConfig",
+    "DayReport",
+    "StormConfig",
+    "StormReport",
+    "StormSide",
+    "Tenant",
+    "TenantPopulation",
+    "TimedSquirrel",
+    "boot_storm",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
+    "poisson_arrivals",
+    "register_churn",
+    "steady_state_day",
+]

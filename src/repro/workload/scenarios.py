@@ -1,0 +1,622 @@
+"""Scenario drivers: Squirrel operations as timed processes.
+
+The accounting layer answers *how many bytes* a boot storm moves; this
+module answers *how long it takes* when those bytes contend for NIC links,
+glusterfs brick uplinks, local disks, and decompression CPU. It wires a
+:class:`repro.sim.Engine` onto an :class:`~repro.core.cluster.IaaSCluster`:
+
+* every compute node gets an ingress NIC :class:`~repro.sim.Pipe`, a
+  :class:`~repro.disk.TimedDisk` (DAS-4 RAID-0 profile) and a decompression
+  CPU :class:`~repro.sim.Resource`,
+* every storage node's uplink is a shared brick Pipe,
+* Squirrel ``register`` / ``boot`` / ``resync`` / GC run as generator
+  processes: the accounting call executes at its scheduled instant (so all
+  byte counts stay identical to the untimed system) and the bytes it moved
+  are then driven through the contended resources.
+
+Because the dataset is size-scaled to fit in memory, all *timed* byte
+counts are scaled back up by ``1/scale`` before hitting a pipe or disk —
+latencies come out in real-cluster seconds while ledger accounting keeps
+the scaled units every other experiment uses.
+
+Scenarios: :func:`boot_storm` (flash crowd, the timed generalisation of
+Figure 18), :func:`steady_state_day` (diurnal multi-tenant load), and
+:func:`register_churn` (registration pressure + node downtime + GC, which
+exercises offline-propagation catch-up under time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigError
+from ..common.hashing import derive_seed
+from ..common.rng import stream as rng_stream
+from ..core import IaaSCluster, Squirrel
+from ..core.cluster import ComputeNode
+from ..core.squirrel import (
+    REGISTRATION_BOOT_SECONDS,
+    SNAPSHOT_CREATE_SECONDS,
+    cold_read_bytes,
+)
+from ..disk import DAS4_RAID0, DiskModel, TimedDisk
+from ..net import GBE_1, LinkProfile
+from ..sim import Engine, HistogramStats, Pipe, Resource, Timeline
+from ..vmi import AzureCommunityDataset, DatasetConfig, make_estimator
+from .arrivals import DAY_S, diurnal_arrivals, flash_crowd_arrivals, poisson_arrivals
+from .tenants import TenantPopulation
+
+__all__ = [
+    "StormConfig",
+    "StormSide",
+    "StormReport",
+    "DayConfig",
+    "DayReport",
+    "ChurnConfig",
+    "ChurnReport",
+    "TimedSquirrel",
+    "boot_storm",
+    "steady_state_day",
+    "register_churn",
+]
+
+#: decompression throughput of one node core (gzip-6; matches repro.boot)
+DECOMPRESS_BYTES_PER_S = 250e6
+#: disk span the scattered cache/working-set offsets are drawn over
+DISK_SPAN_BYTES = 1 << 40
+
+
+def _disk_offset(size: int, *key) -> int:
+    """Deterministic platter position of one piece of data."""
+    span = max(1, DISK_SPAN_BYTES - size)
+    return derive_seed("disk-offset", *key) % span
+
+
+class TimedSquirrel:
+    """Drives Squirrel operations through the event engine's resources."""
+
+    def __init__(
+        self,
+        squirrel: Squirrel,
+        dataset: AzureCommunityDataset,
+        engine: Engine,
+        timeline: Timeline,
+        *,
+        cpu_cores_per_node: int = 2,
+    ) -> None:
+        self.squirrel = squirrel
+        self.dataset = dataset
+        self.engine = engine
+        self.timeline = timeline
+        #: timed transfers replay the paper-scale byte counts
+        self.scale_up = dataset.scaled_up
+        cluster = squirrel.cluster
+        self.nic: dict[str, Pipe] = {
+            node.name: node.node.link.make_pipe(engine, name=f"nic:{node.name}")
+            for node in cluster.compute
+        }
+        self.brick: dict[str, Pipe] = {
+            node.name: node.link.make_pipe(engine, name=f"brick:{node.name}")
+            for node in cluster.storage.nodes
+        }
+        self.disk: dict[str, TimedDisk] = {
+            node.name: TimedDisk(
+                engine, DiskModel(DAS4_RAID0), name=f"disk:{node.name}"
+            )
+            for node in cluster.compute
+        }
+        self.cpu: dict[str, Resource] = {
+            node.name: Resource(engine, cpu_cores_per_node, name=f"cpu:{node.name}")
+            for node in cluster.compute
+        }
+
+    # -- timed operations (each returns a yieldable Process) ----------------------
+
+    def boot(self, image_id: int, node_name: str, *, force_cold: bool = False):
+        """One timed VM boot; observes ``boot_latency_s``."""
+        return self.engine.process(
+            self._boot(image_id, node_name, force_cold),
+            label=f"boot:{node_name}:{image_id}",
+        )
+
+    def _boot(self, image_id: int, node_name: str, force_cold: bool):
+        engine = self.engine
+        t0 = engine.now
+        self.timeline.count("boots")
+        if force_cold:
+            # the "w/o caches" baseline: the boot set crosses the network
+            # even when a cache exists (Figure 18's comparison series)
+            spec = self.dataset.images[image_id]
+            moved, plan = self.squirrel.cluster.storage.gluster.read_with_plan(
+                f"vmi-{image_id:05d}", 0, cold_read_bytes(spec),
+                reader=node_name, purpose="boot-read",
+            )
+            cache_hit = False
+        else:
+            outcome, plan = self.squirrel.boot_with_plan(image_id, node_name)
+            moved = outcome.network_bytes
+            cache_hit = outcome.cache_hit
+        if cache_hit:
+            self.timeline.count("cache_hits")
+            yield from self._warm_read(image_id, node_name)
+        else:
+            self.timeline.count("cold_boots")
+            yield from self._cold_fetch(node_name, moved, plan)
+        self.timeline.observe("boot_latency_s", engine.now - t0)
+        return engine.now - t0
+
+    def _warm_read(self, image_id: int, node_name: str):
+        """Cache hit: read the compressed cache off the local pool, then
+        decompress it — zero network involvement."""
+        node = self.squirrel.cluster.node(node_name)
+        cache = node.ccvolume.file(self.squirrel.cache_file_of(image_id))
+        physical = int(self.scale_up(sum(bp.psize for bp in cache.blocks)))
+        logical = int(self.scale_up(sum(bp.lsize for bp in cache.blocks)))
+        yield self.disk[node_name].read(_disk_offset(physical, image_id), physical)
+        grant = self.cpu[node_name].request()
+        yield grant
+        try:
+            yield self.engine.timeout(logical / DECOMPRESS_BYTES_PER_S)
+        finally:
+            self.cpu[node_name].release()
+
+    def _cold_fetch(self, node_name: str, moved: int, plan):
+        """Cache miss: the boot set streams from the bricks through the
+        node's NIC, then lands on the local disk (copy-on-read)."""
+        transfers = [
+            self.brick[node.name].transfer(int(self.scale_up(n_bytes)))
+            for node, n_bytes in plan
+        ]
+        total = int(self.scale_up(moved))
+        transfers.append(self.nic[node_name].transfer(total))
+        yield self.engine.all_of(transfers)
+        yield self.disk[node_name].write(_disk_offset(total, node_name), total)
+
+    def register(self, spec):
+        """One timed registration; observes ``register_latency_s``."""
+        return self.engine.process(
+            self._register(spec), label=f"register:{spec.image_id}"
+        )
+
+    def _register(self, spec):
+        engine = self.engine
+        t0 = engine.now
+        # boot-once on a storage node + snapshot, then the accounting call
+        yield engine.timeout(REGISTRATION_BOOT_SECONDS + SNAPSHOT_CREATE_SECONDS)
+        self._sync_clock()
+        record = self.squirrel.register(spec)
+        # multicast: the diff crosses the primary's uplink once and lands on
+        # every online node's NIC concurrently
+        diff = int(self.scale_up(record.diff_bytes))
+        primary = self.squirrel.cluster.storage.primary.name
+        transfers = [self.brick[primary].transfer(diff)]
+        transfers += [
+            self.nic[node.name].transfer(diff)
+            for node in self.squirrel.cluster.online_nodes()
+        ]
+        yield engine.all_of(transfers)
+        self.timeline.count("registrations")
+        self.timeline.observe("register_latency_s", engine.now - t0)
+        return record
+
+    def resync(self, node_name: str):
+        """One timed offline-propagation catch-up; observes
+        ``resync_latency_s`` and counts full re-replications."""
+        return self.engine.process(
+            self._resync(node_name), label=f"resync:{node_name}"
+        )
+
+    def _resync(self, node_name: str):
+        engine = self.engine
+        t0 = engine.now
+        self._sync_clock()
+        node = self.squirrel.cluster.node(node_name)
+        scvol = self.squirrel.cluster.storage.scvolume
+        base = node.synced_snapshot
+        incremental = base is not None and scvol.has_snapshot(base)
+        moved = self.squirrel.resync_node(node_name)
+        if moved:
+            self.timeline.count("resync_bytes", moved)
+            self.timeline.count(
+                "incremental_resyncs" if incremental else "full_replications"
+            )
+            scaled = int(self.scale_up(moved))
+            primary = self.squirrel.cluster.storage.primary.name
+            yield engine.all_of([
+                self.brick[primary].transfer(scaled),
+                self.nic[node_name].transfer(scaled),
+            ])
+        self.timeline.observe("resync_latency_s", engine.now - t0)
+        return moved
+
+    def collect_garbage(self):
+        """GC is metadata-only: instantaneous, but clock-synced."""
+        self._sync_clock()
+        victims = self.squirrel.collect_garbage()
+        self.timeline.count("gc_runs")
+        self.timeline.count("gc_victims", len(victims))
+        return victims
+
+    def _sync_clock(self) -> None:
+        """Propagate the engine clock into Squirrel's day-granular clock."""
+        days = self.engine.now / DAY_S
+        if days > self.squirrel.clock_days:
+            self.squirrel.advance_time(days - self.squirrel.clock_days)
+
+
+# -- shared rig construction ----------------------------------------------------------
+
+
+def _build_rig(
+    *,
+    n_compute: int,
+    n_storage: int,
+    block_size: int,
+    scale: float,
+    link: LinkProfile,
+    seed,
+    trace: bool,
+    dataset: AzureCommunityDataset | None = None,
+    estimator=None,
+):
+    dataset = dataset or AzureCommunityDataset(DatasetConfig(scale=scale))
+    cluster = IaaSCluster.build(
+        n_compute=n_compute, n_storage=n_storage, block_size=block_size, link=link
+    )
+    estimator = estimator or make_estimator(
+        "gzip6", (block_size,), samples_per_point=2
+    )
+    squirrel = Squirrel(cluster=cluster, estimator=estimator)
+    engine = Engine(seed=seed, trace=trace)
+    timeline = Timeline(engine)
+    timed = TimedSquirrel(squirrel, dataset, engine, timeline)
+    return dataset, squirrel, engine, timeline, timed
+
+
+# -- boot storm -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StormConfig:
+    """A flash-crowd boot storm (the timed Figure 18)."""
+
+    n_nodes: int = 64
+    vms_per_node: int = 8
+    n_storage: int = 4
+    block_size: int = 65536
+    scale: float = 1.0 / 512.0
+    #: window the flash crowd's arrivals are compressed into
+    ramp_s: float = 30.0
+    n_tenants: int = 32
+    zipf_exponent: float = 0.9
+    link: LinkProfile = GBE_1
+    seed: int = 0
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class StormSide:
+    """One storm run (Squirrel or the no-cache baseline)."""
+
+    boots: int
+    cache_hits: int
+    compute_ingress_bytes: int
+    horizon_s: float  #: when the last boot finished
+    latency: HistogramStats
+    summary: dict = field(repr=False)
+
+
+@dataclass(frozen=True)
+class StormReport:
+    """Both sides of one storm, driven by the identical arrival trace."""
+
+    n_nodes: int
+    vms_per_node: int
+    seed: int
+    squirrel: StormSide
+    baseline: StormSide
+
+
+def _storm_trace(config: StormConfig, n_images: int):
+    """The (arrival, node, image) trace — shared by both sides."""
+    n_vms = config.n_nodes * config.vms_per_node
+    rng = rng_stream("workload-storm", config.seed)
+    times = flash_crowd_arrivals(rng, n_vms=n_vms, ramp_s=config.ramp_s)
+    tenants = TenantPopulation(
+        config.n_tenants,
+        n_images,
+        seed=derive_seed("workload-storm-tenants", config.seed),
+        zipf_exponent=config.zipf_exponent,
+    )
+    plan = []
+    for index, t in enumerate(times):
+        _tenant, image_id = tenants.sample(rng)
+        node_name = f"compute{index % config.n_nodes}"
+        plan.append((float(t), node_name, image_id))
+    return plan
+
+
+def _run_storm_side(
+    config: StormConfig,
+    *,
+    with_caches: bool,
+    dataset: AzureCommunityDataset,
+    estimator,
+    plan,
+) -> StormSide:
+    _, squirrel, engine, timeline, timed = _build_rig(
+        n_compute=config.n_nodes,
+        n_storage=config.n_storage,
+        block_size=config.block_size,
+        scale=config.scale,
+        link=config.link,
+        seed=derive_seed("storm", config.seed, "squirrel" if with_caches else "baseline"),
+        trace=config.trace,
+        dataset=dataset,
+        estimator=estimator,
+    )
+    n_images = max(image_id for _, _, image_id in plan) + 1
+    gluster = squirrel.cluster.storage.gluster
+    if with_caches:
+        for spec in dataset.images[:n_images]:
+            squirrel.register(spec)  # setup: instant, before the storm
+    else:
+        # the baseline never registers: only the base VMIs exist on the FS
+        for spec in dataset.images[:n_images]:
+            gluster.create_file(f"vmi-{spec.image_id:05d}", spec.nonzero_bytes)
+    squirrel.cluster.ledger.clear()
+
+    def vm(at, node_name, image_id):
+        yield engine.timeout(at)
+        yield timed.boot(image_id, node_name, force_cold=not with_caches)
+
+    for at, node_name, image_id in plan:
+        engine.process(vm(at, node_name, image_id), label=f"vm:{node_name}:{image_id}")
+    horizon = engine.run()
+    return StormSide(
+        boots=int(timeline.counter("boots")),
+        cache_hits=int(timeline.counter("cache_hits")),
+        compute_ingress_bytes=squirrel.cluster.compute_ingress_bytes(
+            purpose="boot-read"
+        ),
+        horizon_s=horizon,
+        latency=timeline.stats("boot_latency_s"),
+        summary=timeline.summary(),
+    )
+
+
+def boot_storm(config: StormConfig = StormConfig()) -> StormReport:
+    """Run the same flash crowd with Squirrel and without caches."""
+    if config.n_nodes < 1 or config.vms_per_node < 1:
+        raise ConfigError("storm needs at least one node and one VM")
+    dataset = AzureCommunityDataset(DatasetConfig(scale=config.scale))
+    estimator = make_estimator("gzip6", (config.block_size,), samples_per_point=2)
+    n_images = len(dataset.images)
+    plan = _storm_trace(config, min(config.n_nodes * config.vms_per_node, n_images))
+    sides = {
+        with_caches: _run_storm_side(
+            config, with_caches=with_caches, dataset=dataset,
+            estimator=estimator, plan=plan,
+        )
+        for with_caches in (True, False)
+    }
+    return StormReport(
+        n_nodes=config.n_nodes,
+        vms_per_node=config.vms_per_node,
+        seed=config.seed,
+        squirrel=sides[True],
+        baseline=sides[False],
+    )
+
+
+# -- steady-state day -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DayConfig:
+    """A diurnal multi-tenant day: boots all day, a trickle of new images."""
+
+    n_nodes: int = 16
+    n_storage: int = 4
+    block_size: int = 65536
+    scale: float = 1.0 / 512.0
+    n_boots: int = 400  #: expected boots over the day
+    n_initial_images: int = 64
+    n_new_registrations: int = 8
+    n_tenants: int = 16
+    zipf_exponent: float = 0.9
+    link: LinkProfile = GBE_1
+    seed: int = 0
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class DayReport:
+    boots: int
+    cache_hits: int
+    registrations: int
+    compute_ingress_bytes: int
+    boot_latency: HistogramStats
+    register_latency: HistogramStats
+    summary: dict = field(repr=False)
+
+
+def steady_state_day(config: DayConfig = DayConfig()) -> DayReport:
+    """24 simulated hours of diurnal load against one cluster."""
+    dataset, squirrel, engine, timeline, timed = _build_rig(
+        n_compute=config.n_nodes,
+        n_storage=config.n_storage,
+        block_size=config.block_size,
+        scale=config.scale,
+        link=config.link,
+        seed=derive_seed("day", config.seed),
+        trace=config.trace,
+    )
+    catalogue = config.n_initial_images + config.n_new_registrations
+    if catalogue > len(dataset.images):
+        raise ConfigError("catalogue larger than the dataset")
+    for spec in dataset.images[: config.n_initial_images]:
+        squirrel.register(spec)  # overnight backlog: instant setup
+    squirrel.cluster.ledger.clear()
+
+    rng = rng_stream("workload-day", config.seed)
+    boot_times = diurnal_arrivals(
+        rng, mean_rate_per_s=config.n_boots / DAY_S, horizon_s=DAY_S
+    )
+    tenants = TenantPopulation(
+        config.n_tenants, catalogue,
+        seed=derive_seed("workload-day-tenants", config.seed),
+        zipf_exponent=config.zipf_exponent,
+    )
+    node_names = [node.name for node in squirrel.cluster.compute]
+
+    def vm(at, node_name, image_id):
+        yield engine.timeout(at)
+        if not squirrel.is_registered(image_id):
+            # image not registered yet today: fall back to a warm one
+            registered = squirrel.registered_ids()
+            image_id = registered[image_id % len(registered)]
+            timeline.count("fallback_boots")
+        yield timed.boot(image_id, node_name)
+
+    for at in boot_times:
+        _tenant, image_id = tenants.sample(rng)
+        node_name = node_names[int(rng.integers(len(node_names)))]
+        engine.process(vm(float(at), node_name, image_id))
+
+    register_times = poisson_arrivals(
+        rng, rate_per_s=config.n_new_registrations / DAY_S, horizon_s=DAY_S
+    )
+    new_specs = dataset.images[config.n_initial_images : catalogue]
+
+    def registration(at, spec):
+        yield engine.timeout(at)
+        yield timed.register(spec)
+
+    for at, spec in zip(register_times, new_specs):
+        engine.process(registration(float(at), spec))
+
+    def nightly_gc():
+        yield engine.timeout(DAY_S - 1.0)
+        timed.collect_garbage()
+
+    engine.process(nightly_gc())
+    engine.run()
+    return DayReport(
+        boots=int(timeline.counter("boots")),
+        cache_hits=int(timeline.counter("cache_hits")),
+        registrations=int(timeline.counter("registrations")),
+        compute_ingress_bytes=squirrel.cluster.compute_ingress_bytes(
+            purpose="boot-read"
+        ),
+        boot_latency=timeline.stats("boot_latency_s"),
+        register_latency=timeline.stats("register_latency_s"),
+        summary=timeline.summary(),
+    )
+
+
+# -- registration churn ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Registration pressure with node downtime: offline propagation under
+    time, including GC-forced full re-replications."""
+
+    n_nodes: int = 8
+    n_storage: int = 4
+    block_size: int = 65536
+    scale: float = 1.0 / 512.0
+    horizon_days: float = 7.0
+    registrations_per_day: float = 6.0
+    #: per-node expected downtimes over the horizon
+    downtimes_per_node: float = 2.0
+    mean_downtime_days: float = 0.8
+    gc_window_days: float = 2.0
+    link: LinkProfile = GBE_1
+    seed: int = 0
+    trace: bool = False
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    registrations: int
+    resyncs: int
+    incremental_resyncs: int
+    full_replications: int
+    resync_bytes: int
+    register_latency: HistogramStats
+    resync_latency: HistogramStats
+    summary: dict = field(repr=False)
+
+
+def register_churn(config: ChurnConfig = ChurnConfig()) -> ChurnReport:
+    """A week of registrations while nodes come and go."""
+    dataset, squirrel, engine, timeline, timed = _build_rig(
+        n_compute=config.n_nodes,
+        n_storage=config.n_storage,
+        block_size=config.block_size,
+        scale=config.scale,
+        link=config.link,
+        seed=derive_seed("churn", config.seed),
+        trace=config.trace,
+    )
+    squirrel.gc_window_days = config.gc_window_days
+    horizon_s = config.horizon_days * DAY_S
+    rng = rng_stream("workload-churn", config.seed)
+
+    register_times = poisson_arrivals(
+        rng, rate_per_s=config.registrations_per_day / DAY_S, horizon_s=horizon_s
+    )
+    specs = dataset.images[: len(register_times)]
+
+    def registration(at, spec):
+        yield engine.timeout(at)
+        yield timed.register(spec)
+
+    for at, spec in zip(register_times, specs):
+        engine.process(registration(float(at), spec))
+
+    def downtime(node: ComputeNode, start, duration):
+        yield engine.timeout(start)
+        node.online = False
+        timeline.count("downtimes")
+        yield engine.timeout(duration)
+        yield timed.resync(node.name)
+
+    for node in squirrel.cluster.compute:
+        n_windows = int(
+            rng.poisson(config.downtimes_per_node)
+        )
+        starts = sorted(rng.uniform(0.0, horizon_s, size=n_windows))
+        last_end = 0.0
+        for start in starts:
+            start = max(float(start), last_end + 60.0)
+            duration = float(
+                rng.exponential(config.mean_downtime_days * DAY_S)
+            )
+            if start + duration >= horizon_s:
+                break
+            engine.process(downtime(node, start, duration))
+            last_end = start + duration
+
+    def daily_gc():
+        for day in range(1, int(config.horizon_days) + 1):
+            yield engine.timeout(day * DAY_S - engine.now)
+            timed.collect_garbage()
+
+    engine.process(daily_gc())
+    engine.run()
+    return ChurnReport(
+        registrations=int(timeline.counter("registrations")),
+        resyncs=int(
+            timeline.counter("incremental_resyncs")
+            + timeline.counter("full_replications")
+        ),
+        incremental_resyncs=int(timeline.counter("incremental_resyncs")),
+        full_replications=int(timeline.counter("full_replications")),
+        resync_bytes=int(timeline.counter("resync_bytes")),
+        register_latency=timeline.stats("register_latency_s"),
+        resync_latency=timeline.stats("resync_latency_s"),
+        summary=timeline.summary(),
+    )

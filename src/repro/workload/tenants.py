@@ -1,0 +1,95 @@
+"""Multi-tenant population model.
+
+An IaaS data center's VM arrivals are not one homogeneous stream: a few
+large tenants dominate the request volume (lognormal tenant sizes), and each
+tenant favours a small set of images — the aggregate image popularity is
+Zipf-like, which is what makes cache-replacement policies thrash and
+Squirrel's replicate-everything approach shine (paper Section 1).
+
+The model is deliberately simple and fully deterministic per seed:
+
+* tenant request weights ~ lognormal, normalised,
+* every tenant ranks the image catalogue by its own permutation and draws
+  from a Zipf(``zipf_exponent``) over those ranks,
+* :meth:`TenantPopulation.sample` yields (tenant, image) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from ..common.rng import stream as rng_stream
+
+__all__ = ["Tenant", "TenantPopulation"]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: request weight plus a private image-preference order."""
+
+    tenant_id: int
+    weight: float  #: share of the cluster's VM arrivals
+    image_order: np.ndarray  #: catalogue permutation; rank r → image id
+
+    def __repr__(self) -> str:  # ndarray default repr is noise
+        return f"Tenant({self.tenant_id}, weight={self.weight:.4f})"
+
+
+class TenantPopulation:
+    """``n_tenants`` tenants over a catalogue of ``n_images`` images."""
+
+    def __init__(
+        self,
+        n_tenants: int,
+        n_images: int,
+        *,
+        seed: int | str = 0,
+        zipf_exponent: float = 0.9,
+        weight_sigma: float = 1.2,
+    ) -> None:
+        if n_tenants < 1 or n_images < 1:
+            raise ConfigError("need at least one tenant and one image")
+        if zipf_exponent < 0:
+            raise ConfigError("zipf exponent must be non-negative")
+        self.n_images = n_images
+        self.zipf_exponent = zipf_exponent
+        build_rng = rng_stream("workload-tenants", seed)
+        raw = build_rng.lognormal(0.0, weight_sigma, size=n_tenants)
+        weights = raw / raw.sum()
+        self.tenants = [
+            Tenant(
+                tenant_id=i,
+                weight=float(weights[i]),
+                image_order=build_rng.permutation(n_images),
+            )
+            for i in range(n_tenants)
+        ]
+        self._tenant_weights = weights
+        ranks = np.arange(1, n_images + 1, dtype=np.float64)
+        zipf = 1.0 / ranks**zipf_exponent
+        self._image_rank_p = zipf / zipf.sum()
+
+    def sample_tenant(self, rng: np.random.Generator) -> Tenant:
+        index = int(rng.choice(len(self.tenants), p=self._tenant_weights))
+        return self.tenants[index]
+
+    def sample_image(self, tenant: Tenant, rng: np.random.Generator) -> int:
+        rank = int(rng.choice(self.n_images, p=self._image_rank_p))
+        return int(tenant.image_order[rank])
+
+    def sample(self, rng: np.random.Generator) -> tuple[Tenant, int]:
+        """One arrival: weighted tenant, then that tenant's Zipf image."""
+        tenant = self.sample_tenant(rng)
+        return tenant, self.sample_image(tenant, rng)
+
+    def aggregate_popularity(self, n_samples: int, *, seed: int | str = 0) -> np.ndarray:
+        """Empirical image-request frequencies (diagnostics/tests)."""
+        rng = rng_stream("workload-popularity", seed)
+        counts = np.zeros(self.n_images, dtype=np.int64)
+        for _ in range(n_samples):
+            _tenant, image_id = self.sample(rng)
+            counts[image_id] += 1
+        return counts / max(1, n_samples)

@@ -71,6 +71,7 @@ class Dataset:
         self.dedup = dedup
         self._files: dict[str, FileObject] = {}
         self._snapshots: list[Snapshot] = []  # oldest -> newest
+        self._snap_by_name: dict[str, Snapshot] = {}
         self._head_deadlist: list[BlockPointer] = []
 
     # -- file I/O ------------------------------------------------------------
@@ -233,7 +234,7 @@ class Dataset:
 
     def snapshot(self, snap_name: str) -> Snapshot:
         """Freeze the current head as ``dataset@snap_name``."""
-        if any(s.name == snap_name for s in self._snapshots):
+        if snap_name in self._snap_by_name:
             raise SnapshotError(f"snapshot {self.name}@{snap_name} already exists")
         txg = self.pool.advance_txg()
         prev_txg = self._snapshots[-1].txg if self._snapshots else 0
@@ -249,16 +250,17 @@ class Dataset:
         )
         self._head_deadlist = []
         self._snapshots.append(snap)
+        self._snap_by_name[snap_name] = snap
         return snap
 
     def get_snapshot(self, snap_name: str) -> Snapshot:
-        for snap in self._snapshots:
-            if snap.name == snap_name:
-                return snap
-        raise ObjectNotFoundError(f"no snapshot {self.name}@{snap_name}")
+        snap = self._snap_by_name.get(snap_name)
+        if snap is None:
+            raise ObjectNotFoundError(f"no snapshot {self.name}@{snap_name}")
+        return snap
 
     def has_snapshot(self, snap_name: str) -> bool:
-        return any(s.name == snap_name for s in self._snapshots)
+        return snap_name in self._snap_by_name
 
     def snapshots(self) -> list[Snapshot]:
         """Snapshots oldest → newest."""
@@ -275,6 +277,7 @@ class Dataset:
         if position is None:
             raise ObjectNotFoundError(f"no snapshot {self.name}@{snap_name}")
         snap = self._snapshots.pop(position)
+        del self._snap_by_name[snap_name]
         next_deadlist = (
             self._snapshots[position].deadlist
             if position < len(self._snapshots)
@@ -300,6 +303,7 @@ class Dataset:
                 deadlist=successor.deadlist,
                 file_created=successor.file_created,
             )
+            self._snap_by_name[successor.name] = self._snapshots[position]
         else:
             self._head_deadlist = survivors
         return released

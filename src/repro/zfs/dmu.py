@@ -28,6 +28,13 @@ class FileObject:
     #: same name between two snapshots — the latter must be replicated as
     #: unlink + fresh writes, or stale blocks survive on replicas.
     created_txg: int = 0
+    #: memoised snapshot_view(); every mutation drops it, so snapshotting a
+    #: dataset whose files are mostly unchanged shares one tuple per file
+    #: instead of re-copying every block list (snapshots are O(changed data),
+    #: matching the deadlist design above the object layer)
+    _view: "tuple[BlockPointer, ...] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def block_count(self) -> int:
         return len(self.blocks)
@@ -44,11 +51,26 @@ class FileObject:
         """Install ``bp`` at ``index`` (growing with holes); returns the old bp."""
         if index < 0:
             raise StorageError(f"negative block index {index}")
+        self._view = None
         while len(self.blocks) <= index:
             self.blocks.append(HOLE)
         old = self.blocks[index]
         self.blocks[index] = bp
         return old
+
+    def truncate(self, block_count: int) -> list[BlockPointer]:
+        """Resize to exactly ``block_count`` records (growing with holes);
+        returns the block pointers dropped from the tail, for the caller to
+        kill against its deadlists."""
+        if block_count < 0:
+            raise StorageError(f"negative block count {block_count}")
+        self._view = None
+        dropped: list[BlockPointer] = []
+        while len(self.blocks) > block_count:
+            dropped.append(self.blocks.pop())
+        while len(self.blocks) < block_count:
+            self.blocks.append(HOLE)
+        return dropped
 
     @property
     def logical_size(self) -> int:
@@ -71,5 +93,9 @@ class FileObject:
         return sum(bp.lsize for bp in self.blocks if not bp.is_hole)
 
     def snapshot_view(self) -> tuple[BlockPointer, ...]:
-        """Immutable copy of the block list for snapshot capture."""
-        return tuple(self.blocks)
+        """Immutable copy of the block list for snapshot capture (memoised
+        until the next mutation, so unchanged files share one view)."""
+        view = self._view
+        if view is None:
+            view = self._view = tuple(self.blocks)
+        return view

@@ -246,13 +246,8 @@ def _apply_truncate(dataset: Dataset, record: SendRecord) -> None:
     if not dataset.has_file(record.file_name):
         dataset.create_file(record.file_name)
     obj = dataset.file(record.file_name)
-    while obj.block_count() > record.block_count:
-        bp = obj.blocks.pop()
+    for bp in obj.truncate(record.block_count):
         dataset._kill(bp)  # noqa: SLF001 - dataset-internal cooperation
-    from .blockptr import HOLE
-
-    while obj.block_count() < record.block_count:
-        obj.blocks.append(HOLE)  # grow: trailing holes are part of the size
 
 
 def iter_write_checksums(stream: SendStream) -> Iterable[str]:

@@ -189,6 +189,52 @@ class TestOfflinePropagation:
             assert node.ccvolume.has_file(squirrel.cache_file_of(spec.image_id))
 
 
+class TestOfflineCatchupReplay:
+    """Regression: catch-up must replay *all* missed incremental sends in
+    snapshot order, leaving the replica's snapshot chain identical to the
+    scVolume's — a node that misses two registration rounds used to receive
+    one jump diff and end up without the intermediate snapshot."""
+
+    def test_two_missed_rounds_replayed_in_order(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        node = squirrel.cluster.node("compute3")
+        node.online = False
+        squirrel.register(dataset.images[1])  # v00002 — missed
+        squirrel.register(dataset.images[2])  # v00003 — missed
+        moved = squirrel.resync_node("compute3")
+        assert moved > 0
+        scvol_names = [
+            s.name for s in squirrel.cluster.storage.scvolume.snapshots()
+        ]
+        cc_names = [s.name for s in node.ccvolume.snapshots()]
+        assert scvol_names == ["v00001", "v00002", "v00003"]
+        assert cc_names == scvol_names
+        assert node.synced_snapshot == "v00003"
+        # replica content identical to a never-offline peer's
+        peer = squirrel.cluster.node("compute1")
+        assert sorted(node.ccvolume.file_names()) == sorted(
+            peer.ccvolume.file_names()
+        )
+        # and the next multicast diff applies cleanly to the caught-up node
+        squirrel.register(dataset.images[3])
+        assert node.ccvolume.has_file(squirrel.cache_file_of(3))
+
+    def test_stale_online_node_is_skipped_not_corrupted(self, rig):
+        squirrel, dataset = rig
+        squirrel.register(dataset.images[0])
+        node = squirrel.cluster.node("compute2")
+        node.online = False
+        squirrel.register(dataset.images[1])
+        node.online = True  # re-onlined without resync: stale synced_snapshot
+        record = squirrel.register(dataset.images[2])
+        assert record.receivers == 5  # the stale node is skipped, not crashed
+        assert not node.ccvolume.has_file(squirrel.cache_file_of(2))
+        squirrel.resync_node("compute2")
+        for image_id in (0, 1, 2):
+            assert node.ccvolume.has_file(squirrel.cache_file_of(image_id))
+
+
 class TestBootStorm:
     def test_squirrel_eliminates_boot_traffic(self, rig):
         squirrel, dataset = rig
