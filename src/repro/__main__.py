@@ -8,81 +8,35 @@ Usage::
     python -m repro all                  # run everything
     python -m repro fig08 --scale 64     # dataset scale 1/64
     python -m repro fig02 --quick 8      # keep every 8th image (smoke run)
+    python -m repro storm --json         # machine-readable report
+    python -m repro storm --faults "crash:compute1@40+45,flap:compute3@20+15"
+    python -m repro recovery             # faulted storm with the default plan
+
+Experiments come from :mod:`repro.experiments.registry`: importing
+:mod:`repro.experiments` registers every module's ``run`` function, and
+this CLI is a thin loop over the registry — id resolution (including
+aliases), per-experiment CLI options, rendering and ``--json`` all derive
+from it. One :class:`ExperimentContext` is shared across the whole
+invocation, so ``python -m repro all`` synthesises each dataset scale once.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable
 
-from .experiments import (
-    ExperimentConfig,
-    ExperimentContext,
-    fig02_compression_ratio,
-    fig03_codecs,
-    fig04_ccr,
-    fig08_disk_consumption,
-    fig09_ddt_disk,
-    fig10_ddt_memory,
-    fig11_boot_time,
-    fig12_cross_similarity,
-    fig13_incremental,
-    fig18_network_transfer,
-    fits,
-    storm_timeline,
-    tab01_storage_chain,
-    tab02_os_diversity,
-)
-from .workload import StormConfig
+from .common.errors import ConfigError
+from .experiments import ExperimentConfig, ExperimentContext
+from .experiments import registry
 
-
-def _simple(module) -> Callable[[ExperimentContext], str]:
-    return lambda ctx: module.render(module.run(ctx))
-
-
-def _fits_disk(ctx: ExperimentContext) -> str:
-    result = fits.run_disk(ctx)
-    return "\n\n".join(
-        [
-            fits.render_fit_quality(result, figure="Figure 14"),
-            fits.render_rmse_table(result, table="Table 3"),
-            fits.render_extrapolation(result, figure="Figure 15"),
-        ]
-    )
-
-
-def _fits_memory(ctx: ExperimentContext) -> str:
-    result = fits.run_memory(ctx)
-    return "\n\n".join(
-        [
-            fits.render_fit_quality(result, figure="Figure 16"),
-            fits.render_rmse_table(result, table="Table 4"),
-            fits.render_extrapolation(result, figure="Figure 17"),
-        ]
-    )
-
-
-EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentContext], str]]] = {
-    "tab01": ("Table 1: storage reduction chain @128 KB", _simple(tab01_storage_chain)),
-    "tab02": ("Table 2: OS diversity census", _simple(tab02_os_diversity)),
-    "fig02": ("Figure 2: dedup + gzip6 ratios", _simple(fig02_compression_ratio)),
-    "fig03": ("Figure 3: cache ratio per codec", _simple(fig03_codecs)),
-    "fig04": ("Figure 4: combined compression ratio", _simple(fig04_ccr)),
-    "fig08": ("Figure 8: ZFS disk consumption", _simple(fig08_disk_consumption)),
-    "fig09": ("Figure 9: DDT size on disk", _simple(fig09_ddt_disk)),
-    "fig10": ("Figure 10: DDT memory", _simple(fig10_ddt_memory)),
-    "fig11": ("Figure 11: boot times", _simple(fig11_boot_time)),
-    "fig12": ("Figure 12: cross-similarity", _simple(fig12_cross_similarity)),
-    "fig13": ("Figure 13: incremental consumption", _simple(fig13_incremental)),
-    "fig14": ("Figures 14/15 + Table 3: disk fits", _fits_disk),
-    "fig16": ("Figures 16/17 + Table 4: memory fits", _fits_memory),
-    "fig18": ("Figure 18: network transfer", _simple(fig18_network_transfer)),
-    "storm": ("Timed boot storm: latency percentiles", _simple(storm_timeline)),
+#: registry-derived views, kept for backwards compatibility:
+#: id -> (title, Experiment), and alias -> canonical id
+EXPERIMENTS = {
+    exp_id: (exp.title, exp) for exp_id, exp in registry.all_experiments().items()
 }
-#: aliases so every figure/table id resolves
-ALIASES = {"fig15": "fig14", "fig17": "fig16", "tab03": "fig14", "tab04": "fig16"}
+ALIASES = registry.aliases()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,34 +59,61 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="storm: arrival-trace seed (default 0)"
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "storm/recovery: injected fault plan, comma-separated "
+            "kind:target@start+duration specs, e.g. "
+            "'crash:compute1@40+45,flap:compute3@20+15' "
+            "(kinds: crash, flap, brick)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON on stdout (timings go to stderr)",
+    )
     args = parser.parse_args(argv)
 
+    experiments = registry.all_experiments()
     if args.experiment == "list":
-        for key, (title, _) in EXPERIMENTS.items():
-            print(f"{key:8s} {title}")
-        print("aliases:", ", ".join(f"{k}->{v}" for k, v in ALIASES.items()))
+        for exp_id, exp in experiments.items():
+            print(f"{exp_id:8s} {exp.title}")
+        print(
+            "aliases:",
+            ", ".join(f"{k}->{v}" for k, v in registry.aliases().items()),
+        )
         return 0
 
     ctx = ExperimentContext(
         ExperimentConfig(scale=1.0 / args.scale, quick=max(1, args.quick))
     )
-    wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    wanted = list(experiments) if args.experiment == "all" else [args.experiment]
+    collected: dict[str, dict] = {}
     for name in wanted:
-        key = ALIASES.get(name, name)
-        if key not in EXPERIMENTS:
+        try:
+            exp = registry.get(name)
+        except ConfigError:
             parser.error(f"unknown experiment {name!r}; try 'list'")
-        title, runner = EXPERIMENTS[key]
-        if key == "storm":
-            storm_config = StormConfig(
-                n_nodes=args.nodes, vms_per_node=args.vms_per_node, seed=args.seed
-            )
-            runner = lambda ctx: storm_timeline.render(  # noqa: E731
-                storm_timeline.run(ctx, config=storm_config)
-            )
+        try:
+            kwargs = exp.run_kwargs(args)
+        except ConfigError as error:
+            parser.error(str(error))
         started = time.perf_counter()
-        print(f"== {title} ==")
-        print(runner(ctx))
-        print(f"[{time.perf_counter() - started:.1f}s]\n")
+        result = exp.run(ctx, **kwargs)
+        elapsed = time.perf_counter() - started
+        if args.json:
+            collected[exp.exp_id] = result.to_dict()
+            print(f"[{exp.exp_id}: {elapsed:.1f}s]", file=sys.stderr)
+        else:
+            print(f"== {exp.title} ==")
+            print(exp.render(result))
+            print(f"[{elapsed:.1f}s]\n")
+    if args.json:
+        payload = collected if args.experiment == "all" else next(iter(collected.values()))
+        print(json.dumps(payload, sort_keys=True))
     return 0
 
 

@@ -1,0 +1,65 @@
+"""The unified result protocol: every experiment/scenario report is one
+:class:`Report` — an object with ``to_dict()`` returning plain JSON-able
+data (str/int/float/bool/None, lists, string-keyed dicts).
+
+Result dataclasses get the behaviour for free by inheriting
+:class:`ReportBase`; anything reachable from their fields (nested
+dataclasses, enums, numpy scalars/arrays, tuples) is converted by
+:func:`to_jsonable`. The CLI's ``--json`` flag and the benchmark harness
+consume this instead of scraping printed tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Report", "ReportBase", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` to plain JSON-able Python data."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    raise TypeError(f"cannot convert {type(obj).__name__} to JSON-able data")
+
+
+class ReportBase:
+    """Mixin giving a (data)class the :class:`Report` protocol."""
+
+    def to_dict(self) -> dict:
+        """This report as plain JSON-able data."""
+        converted = to_jsonable(self)
+        if not isinstance(converted, dict):
+            raise TypeError(
+                f"{type(self).__name__}.to_dict needs a dataclass (or a "
+                "to_dict override)"
+            )
+        return converted
+
+
+@runtime_checkable
+class Report(Protocol):
+    """What every experiment/scenario result promises."""
+
+    def to_dict(self) -> dict: ...

@@ -55,7 +55,15 @@ class StorageTier:
 
     @property
     def primary(self) -> Node:
-        return self.nodes[0]
+        """First *alive* storage node: registration/propagation source.
+
+        Fails over when the usual primary's brick is down, so registrations
+        keep working through a brick failure (paper Section 6: any node can
+        serve any cVolume replica)."""
+        for node in self.nodes:
+            if self.gluster.is_alive(node.name):
+                return node
+        raise NetworkError("every storage node has failed")
 
 
 @dataclass

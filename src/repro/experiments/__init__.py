@@ -1,7 +1,9 @@
 """One module per paper table/figure, over a shared memoising context.
 
 Each experiment module exposes ``run(ctx) -> result`` and
-``render(result) -> str`` printing the same rows/series the paper reports.
+``render(result) -> str`` printing the same rows/series the paper reports,
+and registers itself with :mod:`.registry` — importing this package
+populates the registry the CLI dispatches from.
 """
 
 from . import (
@@ -16,19 +18,25 @@ from . import (
     fig13_incremental,
     fig18_network_transfer,
     fits,
+    recovery_timeline,
     storm_timeline,
     tab01_storage_chain,
     tab02_os_diversity,
 )
 from .context import ExperimentConfig, ExperimentContext, default_context
+from .registry import Experiment, all_experiments, register
 from .zfs_consumption import ConsumptionTrajectory, consumption
 
 __all__ = [
     "ConsumptionTrajectory",
+    "Experiment",
     "ExperimentConfig",
     "ExperimentContext",
+    "all_experiments",
     "consumption",
     "default_context",
+    "recovery_timeline",
+    "register",
     "fig02_compression_ratio",
     "fig03_codecs",
     "fig04_ccr",

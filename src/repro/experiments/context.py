@@ -53,6 +53,7 @@ class ExperimentContext:
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config or ExperimentConfig()
         self._dataset: AzureCommunityDataset | None = None
+        self._scaled_datasets: dict[float, AzureCommunityDataset] = {}
         self._streams: dict[Subject, list[np.ndarray]] = {}
         self._metrics_memo: dict[tuple[Subject, str, int], MetricsResult] = {}
 
@@ -65,6 +66,19 @@ class ExperimentContext:
                 DatasetConfig(scale=self.config.scale)
             )
         return self._dataset
+
+    def dataset_at(self, scale: float) -> AzureCommunityDataset:
+        """A dataset at an arbitrary scale, memoised for the context's
+        lifetime. Timed scenarios own their scale (usually 1/512, not the
+        analysis scale), so without this every storm/recovery run in a
+        ``python -m repro all`` sweep re-synthesised the whole image set."""
+        if scale == self.config.scale:
+            return self.dataset
+        if scale not in self._scaled_datasets:
+            self._scaled_datasets[scale] = AzureCommunityDataset(
+                DatasetConfig(scale=scale)
+            )
+        return self._scaled_datasets[scale]
 
     @property
     def specs(self):

@@ -11,7 +11,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ANALYSIS_BLOCK_SIZES
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Fig02Result", "run", "render"]
 
@@ -19,7 +21,7 @@ EXPERIMENT_ID = "fig02"
 
 
 @dataclass(frozen=True)
-class Fig02Result:
+class Fig02Result(ReportBase):
     block_sizes: tuple[int, ...]
     caches_dedup: tuple[float, ...]
     images_dedup: tuple[float, ...]
@@ -27,6 +29,7 @@ class Fig02Result:
     images_gzip6: tuple[float, ...]
 
 
+@register(EXPERIMENT_ID, "Figure 2: dedup + gzip6 ratios")
 def run(ctx: ExperimentContext | None = None) -> Fig02Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

@@ -11,7 +11,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ANALYSIS_BLOCK_SIZES
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Fig03Result", "run", "render", "CODECS"]
 
@@ -20,12 +22,13 @@ CODECS = ("gzip6", "gzip9", "lzjb", "lz4")
 
 
 @dataclass(frozen=True)
-class Fig03Result:
+class Fig03Result(ReportBase):
     block_sizes: tuple[int, ...]
     dedup: tuple[float, ...]
     by_codec: dict[str, tuple[float, ...]]
 
 
+@register(EXPERIMENT_ID, "Figure 3: cache ratio per codec")
 def run(ctx: ExperimentContext | None = None) -> Fig03Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

@@ -12,7 +12,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ANALYSIS_BLOCK_SIZES
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Fig04Result", "run", "render"]
 
@@ -20,7 +22,7 @@ EXPERIMENT_ID = "fig04"
 
 
 @dataclass(frozen=True)
-class Fig04Result:
+class Fig04Result(ReportBase):
     block_sizes: tuple[int, ...]
     caches_ccr: tuple[float, ...]
     images_ccr: tuple[float, ...]
@@ -31,6 +33,7 @@ class Fig04Result:
         return self.block_sizes[best]
 
 
+@register(EXPERIMENT_ID, "Figure 4: combined compression ratio")
 def run(ctx: ExperimentContext | None = None) -> Fig04Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

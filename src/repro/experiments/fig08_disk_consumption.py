@@ -12,7 +12,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ZFS_BLOCK_SIZES, GiB
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 from .zfs_consumption import consumption
 
 __all__ = ["Fig08Result", "run", "render"]
@@ -21,7 +23,7 @@ EXPERIMENT_ID = "fig08"
 
 
 @dataclass(frozen=True)
-class Fig08Result:
+class Fig08Result(ReportBase):
     """Scaled-up GB per block size."""
 
     block_sizes: tuple[int, ...]
@@ -29,6 +31,7 @@ class Fig08Result:
     caches_disk_gb: tuple[float, ...]
 
 
+@register(EXPERIMENT_ID, "Figure 8: ZFS disk consumption")
 def run(ctx: ExperimentContext | None = None) -> Fig08Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

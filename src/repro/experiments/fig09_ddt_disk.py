@@ -10,7 +10,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ZFS_BLOCK_SIZES, GiB
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 from .zfs_consumption import consumption
 
 __all__ = ["Fig09Result", "run", "render"]
@@ -19,12 +21,13 @@ EXPERIMENT_ID = "fig09"
 
 
 @dataclass(frozen=True)
-class Fig09Result:
+class Fig09Result(ReportBase):
     block_sizes: tuple[int, ...]
     images_ddt_gb: tuple[float, ...]
     caches_ddt_gb: tuple[float, ...]
 
 
+@register(EXPERIMENT_ID, "Figure 9: DDT size on disk")
 def run(ctx: ExperimentContext | None = None) -> Fig09Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

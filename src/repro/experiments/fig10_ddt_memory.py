@@ -11,7 +11,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ZFS_BLOCK_SIZES, GiB, MiB
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 from .zfs_consumption import consumption
 
 __all__ = ["Fig10Result", "run", "render"]
@@ -20,7 +22,7 @@ EXPERIMENT_ID = "fig10"
 
 
 @dataclass(frozen=True)
-class Fig10Result:
+class Fig10Result(ReportBase):
     block_sizes: tuple[int, ...]
     images_memory_gb: tuple[float, ...]
     caches_memory_gb: tuple[float, ...]
@@ -30,6 +32,7 @@ class Fig10Result:
         return self.caches_memory_gb[index] * GiB / MiB
 
 
+@register(EXPERIMENT_ID, "Figure 10: DDT memory")
 def run(ctx: ExperimentContext | None = None) -> Fig10Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

@@ -21,7 +21,9 @@ from ..boot import BootSimulator
 from ..common.units import BOOT_BLOCK_SIZES
 from ..zfs import ZPool
 from ..vmi.streams import block_view
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Fig11Result", "run", "render"]
 
@@ -32,7 +34,7 @@ SAMPLE_STRIDE = 41
 
 
 @dataclass(frozen=True)
-class Fig11Result:
+class Fig11Result(ReportBase):
     block_sizes: tuple[int, ...]
     warm_zfs_seconds: tuple[float, ...]
     qcow2_xfs_seconds: float
@@ -70,6 +72,7 @@ def _build_ccvolume(ctx: ExperimentContext, block_size: int):
     return volume
 
 
+@register(EXPERIMENT_ID, "Figure 11: boot times")
 def run(ctx: ExperimentContext | None = None) -> Fig11Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

@@ -11,7 +11,9 @@ from dataclasses import dataclass
 
 from ..analysis import Series, render_series
 from ..common.units import ANALYSIS_BLOCK_SIZES
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Fig12Result", "run", "render"]
 
@@ -19,12 +21,13 @@ EXPERIMENT_ID = "fig12"
 
 
 @dataclass(frozen=True)
-class Fig12Result:
+class Fig12Result(ReportBase):
     block_sizes: tuple[int, ...]
     images_similarity: tuple[float, ...]
     caches_similarity: tuple[float, ...]
 
 
+@register(EXPERIMENT_ID, "Figure 12: cross-similarity")
 def run(ctx: ExperimentContext | None = None) -> Fig12Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

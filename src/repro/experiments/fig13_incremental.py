@@ -14,7 +14,9 @@ import numpy as np
 
 from ..analysis import Series, render_series
 from ..common.units import GiB, MiB, SQUIRREL_BLOCK_SIZE
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 from .zfs_consumption import consumption
 
 __all__ = ["Fig13Result", "run", "render"]
@@ -23,7 +25,7 @@ EXPERIMENT_ID = "fig13"
 
 
 @dataclass(frozen=True)
-class Fig13Result:
+class Fig13Result(ReportBase):
     """Scaled-up trajectories at 64 KB (index i = i+1 files stored)."""
 
     caches_disk_gb: np.ndarray
@@ -38,6 +40,7 @@ class Fig13Result:
         return float(image_slope / cache_slope)
 
 
+@register(EXPERIMENT_ID, "Figure 13: incremental consumption")
 def run(ctx: ExperimentContext | None = None) -> Fig13Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

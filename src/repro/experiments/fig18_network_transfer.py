@@ -17,7 +17,9 @@ from ..common.units import GiB
 from ..core import IaaSCluster, Squirrel, run_boot_storm
 from ..net import IB_QDR, GBE_1, LinkProfile
 from ..analysis import Series, render_series
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Fig18Result", "run", "render", "NODE_COUNTS", "VMS_PER_NODE"]
 
@@ -31,7 +33,7 @@ FABRICS: dict[str, LinkProfile] = {"32GbIB": IB_QDR, "1GbE": GBE_1}
 
 
 @dataclass(frozen=True)
-class Fig18Result:
+class Fig18Result(ReportBase):
     """Cumulative compute-node ingress (GB, scaled up) per series."""
 
     node_counts: tuple[int, ...]
@@ -40,6 +42,7 @@ class Fig18Result:
     cache_hit_rate: float
 
 
+@register(EXPERIMENT_ID, "Figure 18: network transfer")
 def run(
     ctx: ExperimentContext | None = None, *, fabric: str = "32GbIB"
 ) -> Fig18Result:

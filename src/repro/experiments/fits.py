@@ -22,8 +22,10 @@ from ..analysis import (
     rmse,
     render_series,
 )
+from ..common.report import ReportBase, to_jsonable
 from ..common.units import GiB, MiB
 from .context import ExperimentContext, default_context
+from .registry import register
 from .zfs_consumption import consumption
 
 __all__ = [
@@ -60,13 +62,31 @@ class FitOutcome:
 
 
 @dataclass(frozen=True)
-class MetricFits:
+class MetricFits(ReportBase):
     metric: str  #: "disk" or "memory"
     unit: str
     outcomes: dict[int, FitOutcome]  #: keyed by block size
 
     def outcome_64k(self) -> FitOutcome:
         return self.outcomes[64 * 1024]
+
+    def to_dict(self) -> dict:
+        """Fitted curves are callables; emit their identity + quality +
+        extrapolation instead of the generic field dump."""
+        return {
+            "metric": self.metric,
+            "unit": self.unit,
+            "outcomes": {
+                str(block_size): {
+                    "winner": outcome.winner_name,
+                    "winner_params": to_jsonable(outcome.winner_full_fit.params),
+                    "rmse_all": to_jsonable(outcome.rmse_all),
+                    "points": to_jsonable(outcome.y),
+                    "extrapolated_3000": outcome.extrapolate(EXTRAPOLATION_CACHES),
+                }
+                for block_size, outcome in self.outcomes.items()
+            },
+        }
 
 
 def _series_for(metric: str, block_size: int, ctx: ExperimentContext) -> np.ndarray:
@@ -186,3 +206,39 @@ def render_extrapolation(fits: MetricFits, *, figure: str) -> str:
     return rendered + (
         f"\n64 KB extrapolation at 1214 caches: {at_1200:.1f} {fits.unit}"
     )
+
+
+def render_disk(fits: MetricFits) -> str:
+    """Figures 14/15 + Table 3 in one report."""
+    return "\n\n".join(
+        [
+            render_fit_quality(fits, figure="Figure 14"),
+            render_rmse_table(fits, table="Table 3"),
+            render_extrapolation(fits, figure="Figure 15"),
+        ]
+    )
+
+
+def render_memory(fits: MetricFits) -> str:
+    """Figures 16/17 + Table 4 in one report."""
+    return "\n\n".join(
+        [
+            render_fit_quality(fits, figure="Figure 16"),
+            render_rmse_table(fits, table="Table 4"),
+            render_extrapolation(fits, figure="Figure 17"),
+        ]
+    )
+
+
+register(
+    "fig14",
+    "Figures 14/15 + Table 3: disk fits",
+    aliases=("fig15", "tab03"),
+    renderer=render_disk,
+)(run_disk)
+register(
+    "fig16",
+    "Figures 16/17 + Table 4: memory fits",
+    aliases=("fig17", "tab04"),
+    renderer=render_memory,
+)(run_memory)

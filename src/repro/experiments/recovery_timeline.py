@@ -1,0 +1,64 @@
+"""Recovery timeline — the headline fault-injection scenario.
+
+The same 64×8 flash crowd as the ``storm`` experiment, but the cluster
+misbehaves mid-storm: one compute node crashes and rejoins (offline
+catch-up included) and another's NIC flaps. Every boot must still
+complete; the figure of merit is *recovery time* — from the moment a boot
+first feels a fault to the moment its VM is up — reported as percentiles
+next to the healthy boot-latency ones.
+
+Pass ``--faults`` to replace the default plan, e.g.::
+
+    python -m repro recovery --faults "crash:compute1@40+60,brick:storage0@35+20"
+"""
+
+from __future__ import annotations
+
+from ..workload import StormConfig, boot_storm
+from .context import ExperimentContext, default_context
+from .registry import register
+from .storm_timeline import (
+    StormTimelineResult,
+    render as render_storm,
+    storm_config_from_args,
+)
+
+__all__ = ["DEFAULT_FAULTS", "run", "render", "EXPERIMENT_ID"]
+
+EXPERIMENT_ID = "recovery"
+
+#: one mid-storm crash (down 45 s, then catch-up) plus one link flap
+DEFAULT_FAULTS = "crash:compute1@40+45,flap:compute3@20+15"
+
+
+def _options(args) -> dict:
+    return {"config": storm_config_from_args(args, faults_default=DEFAULT_FAULTS)}
+
+
+@register(
+    EXPERIMENT_ID,
+    "Faulted boot storm: recovery-time percentiles",
+    options=_options,
+)
+def run(
+    ctx: ExperimentContext | None = None, *, config: StormConfig | None = None
+) -> StormTimelineResult:
+    """Run the storm under a fault plan (``DEFAULT_FAULTS`` when the config
+    carries none), sharing the context's dataset memo."""
+    if config is None or config.faults is None:
+        from ..faults import FaultPlan
+        from dataclasses import replace
+
+        base = config or StormConfig()
+        config = replace(base, faults=FaultPlan.parse(DEFAULT_FAULTS))
+    ctx = ctx or default_context()
+    dataset = ctx.dataset_at(config.scale)
+    return StormTimelineResult(
+        config=config, report=boot_storm(config, dataset=dataset)
+    )
+
+
+def render(result: StormTimelineResult) -> str:
+    """Same table as the storm experiment: the fault plan guarantees the
+    recovery section renders."""
+    return render_storm(result)

@@ -1,0 +1,113 @@
+"""The experiment registry: experiments and scenarios self-register.
+
+Replaces the hand-maintained import/dispatch table in ``repro.__main__``:
+each experiment module decorates its ``run`` function with
+
+.. code-block:: python
+
+    @register("fig02", "Figure 2: dedup + gzip6 ratios")
+    def run(ctx=None): ...
+
+and the CLI derives ``python -m repro list``, alias resolution, rendering
+and ``--json`` output entirely from the registry. ``run`` takes the shared
+:class:`~repro.experiments.context.ExperimentContext` (so one dataset and
+one calibration serve a whole ``python -m repro all`` sweep) and returns a
+:class:`~repro.common.report.Report`.
+
+Optional hooks per entry:
+
+* ``renderer`` — result -> str; defaults to the ``render`` function of the
+  module that registered ``run`` (looked up lazily, so definition order in
+  the module does not matter),
+* ``options`` — ``argparse.Namespace -> dict`` of extra keyword arguments
+  for ``run`` (how the storm/recovery scenarios pick up ``--nodes``,
+  ``--seed``, ``--faults`` without the CLI special-casing them),
+* ``aliases`` — alternate ids (``fig15`` -> ``fig14``).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..common.errors import ConfigError
+
+__all__ = ["Experiment", "register", "get", "all_experiments", "aliases"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment/scenario."""
+
+    exp_id: str
+    title: str
+    run: Callable[..., Any]  #: (ctx, **options) -> Report
+    renderer: Callable[[Any], str] | None = None
+    options: Callable[[Any], dict] | None = None  #: argparse.Namespace -> kwargs
+    aliases: tuple[str, ...] = ()
+
+    def render(self, result: Any) -> str:
+        """Render a result with the explicit renderer, falling back to the
+        ``render`` function of the module that registered ``run``."""
+        renderer = self.renderer
+        if renderer is None:
+            renderer = getattr(sys.modules[self.run.__module__], "render")
+        return renderer(result)
+
+    def run_kwargs(self, args: Any) -> dict:
+        return self.options(args) if self.options is not None else {}
+
+
+_REGISTRY: dict[str, Experiment] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(
+    exp_id: str,
+    title: str,
+    *,
+    aliases: tuple[str, ...] = (),
+    renderer: Callable[[Any], str] | None = None,
+    options: Callable[[Any], dict] | None = None,
+) -> Callable:
+    """Decorator registering a ``run`` function under ``exp_id``."""
+
+    def decorate(run: Callable) -> Callable:
+        if exp_id in _REGISTRY or exp_id in _ALIASES:
+            raise ConfigError(f"experiment id {exp_id!r} registered twice")
+        for alias in aliases:
+            if alias in _REGISTRY or alias in _ALIASES:
+                raise ConfigError(f"experiment alias {alias!r} registered twice")
+        _REGISTRY[exp_id] = Experiment(
+            exp_id=exp_id,
+            title=title,
+            run=run,
+            renderer=renderer,
+            options=options,
+            aliases=tuple(aliases),
+        )
+        for alias in aliases:
+            _ALIASES[alias] = exp_id
+        return run
+
+    return decorate
+
+
+def get(name: str) -> Experiment:
+    """Resolve an experiment id or alias; raises ``ConfigError`` if unknown."""
+    exp_id = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigError(f"unknown experiment {name!r}") from None
+
+
+def all_experiments() -> dict[str, Experiment]:
+    """Registered experiments in registration order."""
+    return dict(_REGISTRY)
+
+
+def aliases() -> dict[str, str]:
+    """Alias -> canonical id map."""
+    return dict(_ALIASES)

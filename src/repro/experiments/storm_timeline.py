@@ -10,38 +10,75 @@ decompression cores.
 Expected shape: Squirrel boots in ~1 s off the local cache regardless of the
 crowd; the no-cache baseline queues 512 cold reads behind four storage
 uplinks and stretches into minutes.
+
+With ``--faults`` the same storm runs under injected node crashes, link
+flaps and brick failures (see :mod:`repro.faults`); every boot still
+completes and the report grows recovery-time percentiles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..common.report import ReportBase
 from ..common.units import GiB
+from ..faults import FaultPlan
 from ..workload import StormConfig, StormReport, StormSide, boot_storm
-from .context import ExperimentContext
+from .context import ExperimentContext, default_context
+from .registry import register
 
-__all__ = ["StormTimelineResult", "run", "render", "EXPERIMENT_ID"]
+__all__ = [
+    "StormTimelineResult",
+    "storm_config_from_args",
+    "run",
+    "render",
+    "render_recovery",
+    "EXPERIMENT_ID",
+]
 
 EXPERIMENT_ID = "storm"
 
 
 @dataclass(frozen=True)
-class StormTimelineResult:
+class StormTimelineResult(ReportBase):
     """One flash crowd, both sides, plus the config that produced it."""
 
     config: StormConfig
     report: StormReport
 
 
+def storm_config_from_args(args, *, faults_default: str | None = None) -> StormConfig:
+    """Build a :class:`StormConfig` from the CLI namespace (shared with the
+    recovery scenario, which only differs in the fault-plan default)."""
+    faults_text = getattr(args, "faults", None) or faults_default
+    return StormConfig(
+        n_nodes=args.nodes,
+        vms_per_node=args.vms_per_node,
+        seed=args.seed,
+        faults=FaultPlan.parse(faults_text) if faults_text else None,
+    )
+
+
+def _options(args) -> dict:
+    return {"config": storm_config_from_args(args)}
+
+
+@register(
+    EXPERIMENT_ID, "Timed boot storm: latency percentiles", options=_options
+)
 def run(
     ctx: ExperimentContext | None = None, *, config: StormConfig | None = None
 ) -> StormTimelineResult:
-    """Run the storm. The shared context is accepted for CLI uniformity but
-    unused: the storm owns its dataset scale so latencies stay calibrated to
-    the paper's 64×8 cluster regardless of ``--scale``."""
-    del ctx
+    """Run the storm. The storm owns its dataset scale (so latencies stay
+    calibrated to the paper's 64×8 cluster regardless of ``--scale``) but
+    borrows the shared context's dataset memo, so a full sweep synthesises
+    the storm-scale image set once."""
     config = config or StormConfig()
-    return StormTimelineResult(config=config, report=boot_storm(config))
+    ctx = ctx or default_context()
+    dataset = ctx.dataset_at(config.scale)
+    return StormTimelineResult(
+        config=config, report=boot_storm(config, dataset=dataset)
+    )
 
 
 def _side_row(label: str, side: StormSide, scale_up: float) -> str:
@@ -51,6 +88,27 @@ def _side_row(label: str, side: StormSide, scale_up: float) -> str:
         f"{label:<12} {side.boots:>5} {side.cache_hits:>5} {ingress:>11.1f} "
         f"{stats.p50:>9.2f} {stats.p95:>9.2f} {stats.p99:>9.2f} "
         f"{side.horizon_s:>9.1f}"
+    )
+
+
+def _recovery_row(label: str, side: StormSide) -> str:
+    return (
+        f"{label:<12} {side.interrupted_boots:>11} {side.delayed_boots:>8} "
+        f"{side.recovery.p50:>9.2f} {side.recovery.p95:>9.2f} "
+        f"{side.recovery.p99:>9.2f} {side.node_recovery.p50:>11.2f}"
+    )
+
+
+def render_recovery(report: StormReport) -> str:
+    """Fault-recovery table: how long preempted/delayed boots took to come
+    back, and how long a crashed node needed to rejoin resynced."""
+    return "\n".join(
+        [
+            f"{'side':<12} {'interrupted':>11} {'delayed':>8} "
+            f"{'rec p50':>9} {'rec p95':>9} {'rec p99':>9} {'node p50 s':>11}",
+            _recovery_row("w/ caches", report.squirrel),
+            _recovery_row("w/o caches", report.baseline),
+        ]
     )
 
 
@@ -77,4 +135,8 @@ def render(result: StormTimelineResult) -> str:
         f"median boot speedup {speedup:,.0f}x; compute ingress with caches: "
         f"{report.squirrel.compute_ingress_bytes} bytes"
     )
+    if config.faults is not None:
+        lines.append("")
+        lines.append(f"fault plan: {config.faults.render()}")
+        lines.append(render_recovery(report))
     return "\n".join(lines)

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 from ..analysis import TextTable
 from ..common.units import ZFS_DEFAULT_BLOCK_SIZE, format_bytes
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Tab01Result", "run", "render"]
 
@@ -21,7 +23,7 @@ EXPERIMENT_ID = "tab01"
 
 
 @dataclass(frozen=True)
-class Tab01Result:
+class Tab01Result(ReportBase):
     """All byte values reported scaled-up (paper-comparable)."""
 
     original_bytes: float
@@ -31,6 +33,7 @@ class Tab01Result:
     ccr_at_128k: float
 
 
+@register(EXPERIMENT_ID, "Table 1: storage reduction chain @128 KB")
 def run(ctx: ExperimentContext | None = None) -> Tab01Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

@@ -11,7 +11,9 @@ from dataclasses import dataclass
 
 from ..analysis import TextTable
 from ..vmi import AZURE_CENSUS, EC2_CENSUS
+from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .registry import register
 
 __all__ = ["Tab02Result", "run", "render"]
 
@@ -19,7 +21,7 @@ EXPERIMENT_ID = "tab02"
 
 
 @dataclass(frozen=True)
-class Tab02Result:
+class Tab02Result(ReportBase):
     azure_measured: dict[str, int]
     azure_expected: dict[str, int]
     ec2_reference: dict[str, int]
@@ -31,6 +33,7 @@ class Tab02Result:
         )
 
 
+@register(EXPERIMENT_ID, "Table 2: OS diversity census")
 def run(ctx: ExperimentContext | None = None) -> Tab02Result:
     """Compute this experiment's data points (see module docstring)."""
     ctx = ctx or default_context()

@@ -1,0 +1,11 @@
+"""Fault injection on the event engine (paper Section 6's availability story).
+
+Node crashes, link flaps and brick failures as first-class
+:mod:`repro.sim` processes, driven by seeded deterministic schedules —
+timed scenarios measure *recovery time*, not just healthy steady state.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "FaultKind", "FaultPlan", "FaultSpec"]

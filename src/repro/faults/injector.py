@@ -1,0 +1,142 @@
+"""The fault injector: a :class:`FaultPlan` as engine processes.
+
+One process per scheduled fault, running against a
+:class:`~repro.workload.TimedSquirrel` rig:
+
+* **node crash** — the compute node goes offline (registrations skip it),
+  its NIC blocks, and every boot in flight on it is preempted
+  (:meth:`repro.sim.Process.interrupt`). After the outage the NIC unblocks
+  and the node rejoins through Squirrel's offline catch-up
+  (:meth:`~repro.core.Squirrel.resync_node` replays every missed
+  incremental in snapshot order); only then are the waiting boots released.
+* **link flap** — the target's pipe (compute NIC or storage brick uplink)
+  blocks for the duration: in-flight transfers stall in place and resume,
+  nothing is lost.
+* **brick failure** — the brick leaves the glusterfs read rotation
+  (degraded reads route onto its group's survivors), its uplink blocks, and
+  boots with a fetch in flight *from that brick* are preempted so their
+  retry re-plans around the dead brick.
+
+Every state change lands in the rig's :class:`~repro.sim.Timeline`:
+``node_crashes`` / ``node_rejoins`` / ``link_flaps`` / ``brick_failures``
+counters and the ``node_recovery_s`` histogram (crash → resynced), which
+scenario reports surface next to boot latency.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..sim import Engine, Event, Timeline
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives one fault plan through a timed rig; also the down-state oracle
+    boots consult (``is_down`` / ``rejoin_event``)."""
+
+    def __init__(self, timed, plan: FaultPlan) -> None:
+        self.timed = timed
+        self.plan = plan
+        self.engine: Engine = timed.engine
+        self.timeline: Timeline = timed.timeline
+        #: crashed nodes -> event triggered once the node is back *and* resynced
+        self._rejoin: dict[str, Event] = {}
+        self._validate()
+        timed.faults = self
+
+    def _validate(self) -> None:
+        cluster = self.timed.squirrel.cluster
+        compute = {node.name for node in cluster.compute}
+        storage = {node.name for node in cluster.storage.nodes}
+        for fault in self.plan:
+            if fault.kind is FaultKind.NODE_CRASH and fault.target not in compute:
+                raise ConfigError(f"crash target {fault.target!r} is not a compute node")
+            if fault.kind is FaultKind.BRICK_FAIL and fault.target not in storage:
+                raise ConfigError(f"brick target {fault.target!r} is not a storage node")
+            if fault.kind is FaultKind.LINK_FLAP and fault.target not in compute | storage:
+                raise ConfigError(f"flap target {fault.target!r} is not a cluster node")
+
+    def start(self) -> None:
+        """Spawn one engine process per scheduled fault."""
+        runners = {
+            FaultKind.NODE_CRASH: self._node_crash,
+            FaultKind.LINK_FLAP: self._link_flap,
+            FaultKind.BRICK_FAIL: self._brick_fail,
+        }
+        for fault in self.plan:
+            self.engine.process(
+                runners[fault.kind](fault), label=f"fault:{fault.render()}"
+            )
+
+    # -- the down-state oracle (consulted by TimedSquirrel boots) ------------------
+
+    def is_down(self, node_name: str) -> bool:
+        return node_name in self._rejoin
+
+    def rejoin_event(self, node_name: str) -> Event:
+        """Event triggered when the crashed node has rebooted *and* caught
+        up via offline propagation; boots delayed by the crash wait on it."""
+        return self._rejoin[node_name]
+
+    # -- fault processes -----------------------------------------------------------
+
+    def _node_crash(self, fault: FaultSpec):
+        engine, timed = self.engine, self.timed
+        yield engine.timeout(fault.at_s)
+        if fault.target in self._rejoin:
+            self.timeline.count("faults_skipped")  # already down: overlap
+            return
+        crashed_at = engine.now
+        self.timeline.count("node_crashes")
+        self._rejoin[fault.target] = engine.event(f"rejoin:{fault.target}")
+        node = timed.squirrel.cluster.node(fault.target)
+        node.online = False
+        timed.nic[fault.target].block()
+        # preempt every boot in flight on the dead host; each retries after
+        # the rejoin event (and cancels its own half-done transfers)
+        for boot in timed.inflight(fault.target):
+            boot.process.interrupt("node-crash")
+        yield engine.timeout(fault.duration_s)
+        timed.nic[fault.target].unblock()
+        # reboot done; catch up on everything registered while away (replays
+        # ALL missed incrementals in snapshot order, or re-replicates when
+        # the base snapshot fell out of the GC window)
+        yield timed.resync(fault.target)
+        self.timeline.count("node_rejoins")
+        self.timeline.observe("node_recovery_s", engine.now - crashed_at)
+        self._rejoin.pop(fault.target).succeed()
+
+    def _link_flap(self, fault: FaultSpec):
+        engine, timed = self.engine, self.timed
+        yield engine.timeout(fault.at_s)
+        pipe = (
+            timed.nic[fault.target]
+            if fault.target in timed.nic
+            else timed.brick[fault.target]
+        )
+        self.timeline.count("link_flaps")
+        pipe.block()
+        yield engine.timeout(fault.duration_s)
+        pipe.unblock()
+        self.timeline.count("link_restores")
+
+    def _brick_fail(self, fault: FaultSpec):
+        engine, timed = self.engine, self.timed
+        gluster = timed.squirrel.cluster.storage.gluster
+        yield engine.timeout(fault.at_s)
+        if not gluster.is_alive(fault.target):
+            self.timeline.count("faults_skipped")
+            return
+        self.timeline.count("brick_failures")
+        gluster.fail_node(fault.target)
+        timed.brick[fault.target].block()
+        # fetches being served by the dead brick are lost mid-stream; the
+        # preempted boots re-read immediately through the degraded plan
+        for boot in timed.inflight_on_brick(fault.target):
+            boot.process.interrupt("brick-failure")
+        yield engine.timeout(fault.duration_s)
+        gluster.restore_node(fault.target)
+        timed.brick[fault.target].unblock()
+        self.timeline.count("brick_restores")

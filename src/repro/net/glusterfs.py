@@ -8,6 +8,14 @@ parallelism over four disks and single-disk fault tolerance.
 The model answers: which storage node serves each byte range of a file
 (reads pick one replica round-robin), and records the resulting transfers in
 the ledger. Writes fan out to every replica of the stripe's group.
+
+Fault model (paper Section 6): a brick can fail and be restored
+(:meth:`GlusterVolume.fail_node` / :meth:`GlusterVolume.restore_node`).
+Degraded reads route around dead bricks — any surviving replica of a stripe
+group serves its ranges — and only losing *every* replica of a group makes
+that group's ranges unreadable. Writes during degradation land on the
+surviving replicas only (self-healing of the stale replica on restore is
+out of scope: the cVolume workload re-reads, never patches).
 """
 
 from __future__ import annotations
@@ -62,6 +70,32 @@ class GlusterVolume:
         #: per-group round-robin cursors (a shared cursor would alias with
         #: the stripe alternation and starve one replica)
         self._read_rr = [0] * stripe_count
+        #: names of failed bricks (degraded mode while non-empty)
+        self._dead: set[str] = set()
+        self._names = {node.name for group in self.groups for node in group}
+
+    # -- fault injection ----------------------------------------------------------
+
+    def fail_node(self, name: str) -> None:
+        """Take one brick down; reads degrade onto its group's survivors."""
+        if name not in self._names:
+            raise NetworkError(f"no storage node {name!r}")
+        self._dead.add(name)
+
+    def restore_node(self, name: str) -> None:
+        """Bring a failed brick back into the read rotation."""
+        if name not in self._names:
+            raise NetworkError(f"no storage node {name!r}")
+        self._dead.discard(name)
+
+    def is_alive(self, name: str) -> bool:
+        if name not in self._names:
+            raise NetworkError(f"no storage node {name!r}")
+        return name not in self._dead
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self._dead)
 
     # -- namespace ---------------------------------------------------------------
 
@@ -74,6 +108,8 @@ class GlusterVolume:
         if writer is not None:
             for group in self.groups:
                 for replica in group:
+                    if replica.name in self._dead:
+                        continue  # degraded write: survivors only
                     share = size // self.stripe_count
                     self.ledger.record(writer, replica.name, share, "upload")
 
@@ -89,11 +125,19 @@ class GlusterVolume:
     # -- data path ---------------------------------------------------------------
 
     def serving_node(self, offset: int) -> Node:
-        """Storage node that serves a read at ``offset`` (replica round-robin)."""
+        """Storage node that serves a read at ``offset``: round-robin over
+        the *alive* replicas of the owning stripe group (degraded reads fall
+        onto the survivors; a fully dead group is unreadable)."""
         group_index = (offset // self.stripe_unit) % self.stripe_count
         group = self.groups[group_index]
+        alive = [node for node in group if node.name not in self._dead]
+        if not alive:
+            raise NetworkError(
+                f"stripe group {group_index} lost: every replica "
+                f"({', '.join(n.name for n in group)}) has failed"
+            )
         self._read_rr[group_index] += 1
-        return group[self._read_rr[group_index] % len(group)]
+        return alive[self._read_rr[group_index] % len(alive)]
 
     def read(self, name: str, offset: int, length: int, *, reader: str,
              purpose: str = "boot-read") -> int:

@@ -1,6 +1,6 @@
 """Discrete-event simulation kernel: clock, processes, contention, metrics."""
 
-from .engine import Engine, Event, Process, all_of
+from .engine import Engine, Event, Interrupted, Process, all_of
 from .resources import Pipe, Resource
 from .timeline import HistogramStats, Timeline
 
@@ -8,6 +8,7 @@ __all__ = [
     "Engine",
     "Event",
     "HistogramStats",
+    "Interrupted",
     "Pipe",
     "Process",
     "Resource",

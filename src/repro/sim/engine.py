@@ -12,6 +12,9 @@ kernel in the SimPy mould, specialised for what the cluster model needs:
   scheduling order), with a monotonic sequence number as the final word,
 * lightweight generator-based processes: a process is a plain generator
   that ``yield``\\ s :class:`Event` objects and is resumed with their values,
+* preemption: :meth:`Process.interrupt` throws :class:`Interrupted` into a
+  process at its current yield point (the fault injector's hook — a node
+  crash preempts every boot in flight on that node),
 * an optional event trace for determinism tests and debugging.
 
 Contention primitives (:class:`~repro.sim.resources.Resource`,
@@ -27,7 +30,19 @@ from typing import Any, Generator, Iterable
 from ..common.errors import SimulationError
 from ..common.rng import stream as rng_stream
 
-__all__ = ["Engine", "Event", "Process", "all_of"]
+__all__ = ["Engine", "Event", "Interrupted", "Process", "all_of"]
+
+
+class Interrupted(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` names what preempted the process (e.g. ``"node-crash"``);
+    handlers use it to pick a recovery strategy.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
 
 
 class Event:
@@ -85,15 +100,19 @@ class Process(Event):
     the generator becomes the process event's value.
     """
 
-    __slots__ = ("_generator",)
+    __slots__ = ("_generator", "_target")
 
     def __init__(
         self, engine: "Engine", generator: Generator, label: str | None = None
     ) -> None:
         super().__init__(engine, label)
         self._generator = generator
+        self._target: Event | None = None
 
     def _step(self, fired: Event | None) -> None:
+        if fired is not None and fired is not self._target:
+            return  # stale wake: interrupted away from this event mid-fire
+        self._target = None
         try:
             if fired is None:
                 target = next(self._generator)
@@ -102,12 +121,44 @@ class Process(Event):
         except StopIteration as stop:
             self._fire(stop.value)
             return
+        self._watch(target)
+
+    def _watch(self, target: Event) -> None:
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.label or id(self)} yielded {type(target).__name__}; "
                 "processes may only yield Event objects"
             )
+        self._target = target
         target._wait(self._step)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Preempt this process: throw :class:`Interrupted` at its current
+        yield point, synchronously. The event it was waiting on is left to
+        fire on its own (with this process detached); the generator's
+        ``except``/``finally`` blocks run immediately, and whatever it
+        yields next is waited on as usual. No-op on a finished process.
+        """
+        if self._triggered:
+            return
+        target = self._target
+        if target is None:
+            # not yet stepped (its start event is still queued): nothing is
+            # in flight to preempt — the process observes the fault's state
+            # change when it does start
+            return
+        if not target._triggered:
+            try:
+                target.callbacks.remove(self._step)
+            except ValueError:
+                pass
+        self._target = None
+        try:
+            follow_up = self._generator.throw(Interrupted(cause))
+        except StopIteration as stop:
+            self._fire(stop.value)
+            return
+        self._watch(follow_up)
 
 
 def all_of(engine: "Engine", events: Iterable[Event], label: str | None = None) -> Event:

@@ -60,6 +60,16 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a request (preempted holder/waiter — e.g. its process
+        was interrupted by a fault). A still-queued request is removed; a
+        granted one has its slot released on its behalf.
+        """
+        try:
+            self._waiting.remove(grant)
+        except ValueError:
+            self.release()
+
     @property
     def queue_length(self) -> int:
         return len(self._waiting)
@@ -81,6 +91,12 @@ class Pipe:
     completes after ``latency + n/r`` seconds; with ``k`` concurrent flows
     every flow drains at ``r/k``. Joins and departures trigger a re-plan of
     the next departure (lazy wake tokens make superseded plans inert).
+
+    Fault hooks: :meth:`set_rate` changes the drain rate mid-flight (down to
+    zero — a link flap stalls every flow until the rate comes back),
+    :meth:`block`/:meth:`unblock` nest flap-on-crash cleanly, and
+    :meth:`cancel` withdraws one in-flight flow (its bytes are lost; the
+    remaining flows speed up) — the drain side of preempting a transfer.
     """
 
     def __init__(
@@ -108,6 +124,9 @@ class Pipe:
         self.total_bytes = 0
         self.total_flows = 0
         self.busy_seconds = 0.0
+        #: nested block() depth and the rate to restore at depth zero
+        self._blocks = 0
+        self._saved_rate = self.rate
 
     # -- public API ---------------------------------------------------------------
 
@@ -131,6 +150,51 @@ class Pipe:
     def active_flows(self) -> int:
         return len(self._flows)
 
+    @property
+    def blocked(self) -> bool:
+        return self._blocks > 0
+
+    # -- fault hooks --------------------------------------------------------------
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        """Change the drain rate mid-flight. Flows keep the bytes already
+        drained at the old rate; a rate of zero stalls them in place until
+        the rate comes back (no wake is planned while stalled)."""
+        if rate_bytes_per_s < 0:
+            raise SimulationError("pipe rate must be non-negative")
+        self._advance()
+        self.rate = float(rate_bytes_per_s)
+        self._replan()
+
+    def block(self) -> None:
+        """Drop the rate to zero (a link going dark). Nests: overlapping
+        faults each block once, and the pipe only resumes when every one of
+        them has unblocked."""
+        if self._blocks == 0:
+            self._saved_rate = self.rate
+            self.set_rate(0.0)
+        self._blocks += 1
+
+    def unblock(self) -> None:
+        """Undo one :meth:`block`; restores the saved rate at depth zero."""
+        if self._blocks <= 0:
+            raise SimulationError(f"unblock of unblocked pipe {self.name!r}")
+        self._blocks -= 1
+        if self._blocks == 0:
+            self.set_rate(self._saved_rate)
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw the flow whose completion event is ``event`` (preempted
+        transfer: a crashed node's fetch). Returns False if no such flow is
+        active (already completed, or never started)."""
+        for flow in self._flows:
+            if flow.event is event:
+                self._advance()
+                self._flows.remove(flow)
+                self._replan()
+                return True
+        return False
+
     # -- fluid bookkeeping --------------------------------------------------------
 
     def _advance(self) -> None:
@@ -138,8 +202,8 @@ class Pipe:
         now = self.engine.now
         elapsed = now - self._last_update
         self._last_update = now
-        if not self._flows or elapsed <= 0.0:
-            return
+        if not self._flows or elapsed <= 0.0 or self.rate <= 0.0:
+            return  # a stalled pipe is not busy and drains nothing
         share = elapsed * self.rate / len(self._flows)
         for flow in self._flows:
             flow.remaining -= share
@@ -148,9 +212,9 @@ class Pipe:
     def _replan(self) -> None:
         """Schedule a wake at the next departure; invalidate older plans."""
         self._plan_version += 1
-        if not self._flows:
+        if not self._flows or self.rate <= 0.0:
             self._plan_head = []
-            return
+            return  # stalled: the next set_rate/join replans
         version = self._plan_version
         head = min(flow.remaining for flow in self._flows)
         tolerance = head * 1e-12 + 1e-12

@@ -23,6 +23,12 @@ Scenarios: :func:`boot_storm` (flash crowd, the timed generalisation of
 Figure 18), :func:`steady_state_day` (diurnal multi-tenant load), and
 :func:`register_churn` (registration pressure + node downtime + GC, which
 exercises offline-propagation catch-up under time).
+
+Fault tolerance: a :class:`~repro.faults.FaultPlan` on :class:`StormConfig`
+runs the storm under injected node crashes, link flaps and brick failures.
+Preempted boots cancel their half-done transfers, wait for the crashed host
+to rejoin (offline catch-up included), retry, and **always complete**; the
+report carries recovery-time percentiles next to the boot-time ones.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from dataclasses import dataclass, field
 
 from ..common.errors import ConfigError
 from ..common.hashing import derive_seed
+from ..common.report import ReportBase
 from ..common.rng import stream as rng_stream
 from ..core import IaaSCluster, Squirrel
 from ..core.cluster import ComputeNode
@@ -40,8 +47,9 @@ from ..core.squirrel import (
     cold_read_bytes,
 )
 from ..disk import DAS4_RAID0, DiskModel, TimedDisk
+from ..faults import FaultInjector, FaultPlan
 from ..net import GBE_1, LinkProfile
-from ..sim import Engine, HistogramStats, Pipe, Resource, Timeline
+from ..sim import Engine, Event, HistogramStats, Interrupted, Pipe, Resource, Timeline
 from ..vmi import AzureCommunityDataset, DatasetConfig, make_estimator
 from .arrivals import DAY_S, diurnal_arrivals, flash_crowd_arrivals, poisson_arrivals
 from .tenants import TenantPopulation
@@ -70,6 +78,19 @@ def _disk_offset(size: int, *key) -> int:
     """Deterministic platter position of one piece of data."""
     span = max(1, DISK_SPAN_BYTES - size)
     return derive_seed("disk-offset", *key) % span
+
+
+class _InflightBoot:
+    """Book-keeping handle for one boot in flight: what the fault injector
+    needs to preempt it (the process) and to target it (which bricks its
+    current fetch is streaming from)."""
+
+    __slots__ = ("node_name", "process", "bricks")
+
+    def __init__(self, node_name: str) -> None:
+        self.node_name = node_name
+        self.process = None  #: set right after engine.process() creates it
+        self.bricks: set[str] = set()
 
 
 class TimedSquirrel:
@@ -109,20 +130,80 @@ class TimedSquirrel:
             node.name: Resource(engine, cpu_cores_per_node, name=f"cpu:{node.name}")
             for node in cluster.compute
         }
+        #: fault-injection hooks: the injector attaches itself here and
+        #: consults the in-flight boot registry to preempt work
+        self.faults: FaultInjector | None = None
+        #: insertion-ordered (dict-as-set): preemption must walk boots in a
+        #: deterministic order or same-seed runs diverge
+        self._inflight: dict[str, dict[_InflightBoot, None]] = {
+            node.name: {} for node in cluster.compute
+        }
+
+    # -- fault-injector queries ----------------------------------------------------
+
+    def inflight(self, node_name: str) -> list[_InflightBoot]:
+        """Boots currently in flight on one compute node (snapshot)."""
+        return list(self._inflight.get(node_name, ()))
+
+    def inflight_on_brick(self, brick_name: str) -> list[_InflightBoot]:
+        """Boots with a fetch currently streaming from one brick (snapshot)."""
+        return [
+            boot
+            for boots in self._inflight.values()
+            for boot in boots
+            if brick_name in boot.bricks
+        ]
 
     # -- timed operations (each returns a yieldable Process) ----------------------
 
     def boot(self, image_id: int, node_name: str, *, force_cold: bool = False):
-        """One timed VM boot; observes ``boot_latency_s``."""
-        return self.engine.process(
-            self._boot(image_id, node_name, force_cold),
+        """One timed VM boot; observes ``boot_latency_s`` (and, when a fault
+        got in the way, ``recovery_s``). Registered with the in-flight
+        registry so the fault injector can preempt it."""
+        handle = _InflightBoot(node_name)
+        process = self.engine.process(
+            self._boot(image_id, node_name, force_cold, handle),
             label=f"boot:{node_name}:{image_id}",
         )
+        handle.process = process
+        self._inflight[node_name][handle] = None
+        return process
 
-    def _boot(self, image_id: int, node_name: str, force_cold: bool):
+    def _boot(self, image_id: int, node_name: str, force_cold: bool, handle):
         engine = self.engine
         t0 = engine.now
         self.timeline.count("boots")
+        first_fail: float | None = None
+        try:
+            while True:
+                try:
+                    if self.faults is not None and self.faults.is_down(node_name):
+                        # the host is dark: nothing can boot until it rejoins
+                        # (reboot + offline catch-up), so queue on that
+                        if first_fail is None:
+                            first_fail = engine.now
+                            self.timeline.count("boots_delayed")
+                        yield self.faults.rejoin_event(node_name)
+                    cache_hit = yield from self._attempt(
+                        image_id, node_name, force_cold, handle
+                    )
+                    break
+                except Interrupted:
+                    # preempted (node crash / brick failure): loop — either
+                    # wait for the rejoin or re-plan around the dead brick
+                    if first_fail is None:
+                        first_fail = engine.now
+                    self.timeline.count("boot_interrupts")
+        finally:
+            self._inflight[node_name].pop(handle, None)
+        self.timeline.count("cache_hits" if cache_hit else "cold_boots")
+        self.timeline.observe("boot_latency_s", engine.now - t0)
+        if first_fail is not None:
+            self.timeline.observe("recovery_s", engine.now - first_fail)
+        return engine.now - t0
+
+    def _attempt(self, image_id: int, node_name: str, force_cold: bool, handle):
+        """One boot attempt (the pre-fault boot path, verbatim)."""
         if force_cold:
             # the "w/o caches" baseline: the boot set crosses the network
             # even when a cache exists (Figure 18's comparison series)
@@ -137,13 +218,10 @@ class TimedSquirrel:
             moved = outcome.network_bytes
             cache_hit = outcome.cache_hit
         if cache_hit:
-            self.timeline.count("cache_hits")
             yield from self._warm_read(image_id, node_name)
         else:
-            self.timeline.count("cold_boots")
-            yield from self._cold_fetch(node_name, moved, plan)
-        self.timeline.observe("boot_latency_s", engine.now - t0)
-        return engine.now - t0
+            yield from self._cold_fetch(node_name, moved, plan, handle)
+        return cache_hit
 
     def _warm_read(self, image_id: int, node_name: str):
         """Cache hit: read the compressed cache off the local pool, then
@@ -154,23 +232,39 @@ class TimedSquirrel:
         logical = int(self.scale_up(sum(bp.lsize for bp in cache.blocks)))
         yield self.disk[node_name].read(_disk_offset(physical, image_id), physical)
         grant = self.cpu[node_name].request()
-        yield grant
+        try:
+            yield grant
+        except Interrupted:
+            # preempted while queued for (or holding) a core: give it back
+            self.cpu[node_name].cancel(grant)
+            raise
         try:
             yield self.engine.timeout(logical / DECOMPRESS_BYTES_PER_S)
         finally:
             self.cpu[node_name].release()
 
-    def _cold_fetch(self, node_name: str, moved: int, plan):
+    def _cold_fetch(self, node_name: str, moved: int, plan, handle):
         """Cache miss: the boot set streams from the bricks through the
         node's NIC, then lands on the local disk (copy-on-read)."""
-        transfers = [
-            self.brick[node.name].transfer(int(self.scale_up(n_bytes)))
-            for node, n_bytes in plan
-        ]
-        total = int(self.scale_up(moved))
-        transfers.append(self.nic[node_name].transfer(total))
-        yield self.engine.all_of(transfers)
-        yield self.disk[node_name].write(_disk_offset(total, node_name), total)
+        flows: list[tuple[Pipe, Event]] = []
+        try:
+            for node, n_bytes in plan:
+                pipe = self.brick[node.name]
+                flows.append((pipe, pipe.transfer(int(self.scale_up(n_bytes)))))
+                handle.bricks.add(node.name)
+            total = int(self.scale_up(moved))
+            nic = self.nic[node_name]
+            flows.append((nic, nic.transfer(total)))
+            yield self.engine.all_of([event for _pipe, event in flows])
+            yield self.disk[node_name].write(_disk_offset(total, node_name), total)
+        except Interrupted:
+            # the fetch died with the node/brick: withdraw the half-done
+            # flows so surviving transfers get their bandwidth share back
+            for pipe, event in flows:
+                pipe.cancel(event)
+            raise
+        finally:
+            handle.bricks.clear()
 
     def register(self, spec):
         """One timed registration; observes ``register_latency_s``."""
@@ -292,6 +386,9 @@ class StormConfig:
     link: LinkProfile = GBE_1
     seed: int = 0
     trace: bool = False
+    #: injected faults (node crashes, link flaps, brick failures); both
+    #: sides of the storm run the identical plan
+    faults: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -300,14 +397,18 @@ class StormSide:
 
     boots: int
     cache_hits: int
+    interrupted_boots: int  #: boot attempts preempted by a fault
+    delayed_boots: int  #: boots that queued on a crashed host
     compute_ingress_bytes: int
-    horizon_s: float  #: when the last boot finished
+    horizon_s: float  #: when the last event settled (boots + fault recovery)
     latency: HistogramStats
+    recovery: HistogramStats  #: per-boot: first fault impact -> completion
+    node_recovery: HistogramStats  #: per-crash: crash -> rebooted + resynced
     summary: dict = field(repr=False)
 
 
 @dataclass(frozen=True)
-class StormReport:
+class StormReport(ReportBase):
     """Both sides of one storm, driven by the identical arrival trace."""
 
     n_nodes: int
@@ -365,6 +466,8 @@ def _run_storm_side(
         for spec in dataset.images[:n_images]:
             gluster.create_file(f"vmi-{spec.image_id:05d}", spec.nonzero_bytes)
     squirrel.cluster.ledger.clear()
+    if config.faults is not None:
+        FaultInjector(timed, config.faults).start()
 
     def vm(at, node_name, image_id):
         yield engine.timeout(at)
@@ -376,21 +479,37 @@ def _run_storm_side(
     return StormSide(
         boots=int(timeline.counter("boots")),
         cache_hits=int(timeline.counter("cache_hits")),
+        interrupted_boots=int(timeline.counter("boot_interrupts")),
+        delayed_boots=int(timeline.counter("boots_delayed")),
         compute_ingress_bytes=squirrel.cluster.compute_ingress_bytes(
             purpose="boot-read"
         ),
         horizon_s=horizon,
         latency=timeline.stats("boot_latency_s"),
+        recovery=timeline.stats("recovery_s"),
+        node_recovery=timeline.stats("node_recovery_s"),
         summary=timeline.summary(),
     )
 
 
-def boot_storm(config: StormConfig = StormConfig()) -> StormReport:
-    """Run the same flash crowd with Squirrel and without caches."""
+def boot_storm(
+    config: StormConfig = StormConfig(),
+    *,
+    dataset: AzureCommunityDataset | None = None,
+    estimator=None,
+) -> StormReport:
+    """Run the same flash crowd with Squirrel and without caches.
+
+    ``dataset``/``estimator`` let a caller that already owns them (the
+    experiment registry's shared context) avoid rebuilding the full image
+    dataset per run; they must match ``config.scale``/``config.block_size``.
+    """
     if config.n_nodes < 1 or config.vms_per_node < 1:
         raise ConfigError("storm needs at least one node and one VM")
-    dataset = AzureCommunityDataset(DatasetConfig(scale=config.scale))
-    estimator = make_estimator("gzip6", (config.block_size,), samples_per_point=2)
+    dataset = dataset or AzureCommunityDataset(DatasetConfig(scale=config.scale))
+    estimator = estimator or make_estimator(
+        "gzip6", (config.block_size,), samples_per_point=2
+    )
     n_images = len(dataset.images)
     plan = _storm_trace(config, min(config.n_nodes * config.vms_per_node, n_images))
     sides = {
@@ -431,7 +550,7 @@ class DayConfig:
 
 
 @dataclass(frozen=True)
-class DayReport:
+class DayReport(ReportBase):
     boots: int
     cache_hits: int
     registrations: int
@@ -539,7 +658,7 @@ class ChurnConfig:
 
 
 @dataclass(frozen=True)
-class ChurnReport:
+class ChurnReport(ReportBase):
     registrations: int
     resyncs: int
     incremental_resyncs: int
