@@ -11,6 +11,7 @@ Usage::
     python -m repro storm --json         # machine-readable report
     python -m repro storm --faults "crash:compute1@40+45,flap:compute3@20+15"
     python -m repro recovery             # faulted storm with the default plan
+    python -m repro storm --trace storm.json   # Perfetto-loadable span trace
 
 Experiments come from :mod:`repro.experiments.registry`: importing
 :mod:`repro.experiments` registers every module's ``run`` function, and
@@ -68,6 +69,15 @@ def main(argv: list[str] | None = None) -> int:
             "kind:target@start+duration specs, e.g. "
             "'crash:compute1@40+45,flap:compute3@20+15' "
             "(kinds: crash, flap, brick)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "storm/recovery: write a Chrome trace-event JSON file of every "
+            "boot's spans to PATH (open at https://ui.perfetto.dev)"
         ),
     )
     parser.add_argument(

@@ -127,13 +127,19 @@ class TimedDisk:
     clock.
     """
 
-    def __init__(self, engine, model: DiskModel, *, name: str | None = None) -> None:
+    def __init__(
+        self, engine, model: DiskModel, *, name: str | None = None, timeline=None
+    ) -> None:
         from ..sim import Resource  # local import: keep repro.disk importable alone
 
         self.engine = engine
         self.model = model
         self.name = name or model.profile.name
-        self._actuator = Resource(engine, capacity=1, name=self.name)
+        #: the actuator queue records per-request wait into the timeline, so
+        #: disk service time and queueing are separately attributable
+        self._actuator = Resource(
+            engine, capacity=1, name=self.name, timeline=timeline
+        )
 
     def read(self, offset: int, size: int):
         """Process completing when the read has been served; value is the

@@ -32,7 +32,10 @@ DEFAULT_FAULTS = "crash:compute1@40+45,flap:compute3@20+15"
 
 
 def _options(args) -> dict:
-    return {"config": storm_config_from_args(args, faults_default=DEFAULT_FAULTS)}
+    return {
+        "config": storm_config_from_args(args, faults_default=DEFAULT_FAULTS),
+        "trace_path": getattr(args, "trace", None),
+    }
 
 
 @register(
@@ -41,10 +44,14 @@ def _options(args) -> dict:
     options=_options,
 )
 def run(
-    ctx: ExperimentContext | None = None, *, config: StormConfig | None = None
+    ctx: ExperimentContext | None = None,
+    *,
+    config: StormConfig | None = None,
+    trace_path: str | None = None,
 ) -> StormTimelineResult:
     """Run the storm under a fault plan (``DEFAULT_FAULTS`` when the config
-    carries none), sharing the context's dataset memo."""
+    carries none), sharing the context's dataset memo. ``trace_path`` (CLI
+    ``--trace``) exports both sides' spans as Chrome trace-event JSON."""
     if config is None or config.faults is None:
         from ..faults import FaultPlan
         from dataclasses import replace
@@ -54,7 +61,8 @@ def run(
     ctx = ctx or default_context()
     dataset = ctx.dataset_at(config.scale)
     return StormTimelineResult(
-        config=config, report=boot_storm(config, dataset=dataset)
+        config=config,
+        report=boot_storm(config, dataset=dataset, trace_path=trace_path),
     )
 
 

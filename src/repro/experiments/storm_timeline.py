@@ -32,6 +32,7 @@ __all__ = [
     "storm_config_from_args",
     "run",
     "render",
+    "render_attribution",
     "render_recovery",
     "EXPERIMENT_ID",
 ]
@@ -60,24 +61,32 @@ def storm_config_from_args(args, *, faults_default: str | None = None) -> StormC
 
 
 def _options(args) -> dict:
-    return {"config": storm_config_from_args(args)}
+    return {
+        "config": storm_config_from_args(args),
+        "trace_path": getattr(args, "trace", None),
+    }
 
 
 @register(
     EXPERIMENT_ID, "Timed boot storm: latency percentiles", options=_options
 )
 def run(
-    ctx: ExperimentContext | None = None, *, config: StormConfig | None = None
+    ctx: ExperimentContext | None = None,
+    *,
+    config: StormConfig | None = None,
+    trace_path: str | None = None,
 ) -> StormTimelineResult:
     """Run the storm. The storm owns its dataset scale (so latencies stay
     calibrated to the paper's 64×8 cluster regardless of ``--scale``) but
     borrows the shared context's dataset memo, so a full sweep synthesises
-    the storm-scale image set once."""
+    the storm-scale image set once. ``trace_path`` (CLI ``--trace``)
+    exports both sides' spans as Chrome trace-event JSON."""
     config = config or StormConfig()
     ctx = ctx or default_context()
     dataset = ctx.dataset_at(config.scale)
     return StormTimelineResult(
-        config=config, report=boot_storm(config, dataset=dataset)
+        config=config,
+        report=boot_storm(config, dataset=dataset, trace_path=trace_path),
     )
 
 
@@ -88,6 +97,32 @@ def _side_row(label: str, side: StormSide, scale_up: float) -> str:
         f"{label:<12} {side.boots:>5} {side.cache_hits:>5} {ingress:>11.1f} "
         f"{stats.p50:>9.2f} {stats.p95:>9.2f} {stats.p99:>9.2f} "
         f"{side.horizon_s:>9.1f}"
+    )
+
+
+def _attribution_row(label: str, side: StormSide) -> str:
+    tiers = side.attribution["tiers"]
+    fractions = side.attribution["hit_tier_fractions"]
+    return (
+        f"{label:<12} "
+        f"{tiers['cache_s']['mean']:>9.3f} {tiers['net_s']['mean']:>9.3f} "
+        f"{tiers['disk_s']['mean']:>9.3f} {tiers['wait_s']['mean']:>9.3f} "
+        f"{100 * fractions['t1']:>6.1f} {100 * fractions['t2']:>6.1f} "
+        f"{100 * fractions['miss']:>6.1f}"
+    )
+
+
+def render_attribution(report: StormReport) -> str:
+    """Latency-attribution table: where the mean boot's seconds went
+    (cache engine / network / disk service / queueing+faults) and how the
+    per-node ARC answered lookups (T1 recency, T2 frequency, miss)."""
+    return "\n".join(
+        [
+            f"{'side':<12} {'cache s':>9} {'net s':>9} {'disk s':>9} "
+            f"{'wait s':>9} {'t1 %':>6} {'t2 %':>6} {'miss %':>6}",
+            _attribution_row("w/ caches", report.squirrel),
+            _attribution_row("w/o caches", report.baseline),
+        ]
     )
 
 
@@ -135,6 +170,9 @@ def render(result: StormTimelineResult) -> str:
         f"median boot speedup {speedup:,.0f}x; compute ingress with caches: "
         f"{report.squirrel.compute_ingress_bytes} bytes"
     )
+    lines.append("")
+    lines.append("latency attribution (mean seconds per boot):")
+    lines.append(render_attribution(report))
     if config.faults is not None:
         lines.append("")
         lines.append(f"fault plan: {config.faults.render()}")

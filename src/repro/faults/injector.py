@@ -20,7 +20,10 @@ One process per scheduled fault, running against a
 Every state change lands in the rig's :class:`~repro.sim.Timeline`:
 ``node_crashes`` / ``node_rejoins`` / ``link_flaps`` / ``brick_failures``
 counters and the ``node_recovery_s`` histogram (crash → resynced), which
-scenario reports surface next to boot latency.
+scenario reports surface next to boot latency. Each fault also opens a span
+(``fault.crash`` / ``fault.flap`` / ``fault.brick``) on the rig's tracer,
+so the outage window renders right above the boots it preempted; a node
+crash additionally wipes the node's in-memory ARC — the reboot loses it.
 """
 
 from __future__ import annotations
@@ -90,14 +93,22 @@ class FaultInjector:
             return
         crashed_at = engine.now
         self.timeline.count("node_crashes")
+        span = timed.tracer.span(
+            "fault.crash", track=fault.target, node=fault.target,
+            duration_s=fault.duration_s,
+        )
         self._rejoin[fault.target] = engine.event(f"rejoin:{fault.target}")
         node = timed.squirrel.cluster.node(fault.target)
         node.online = False
         timed.nic[fault.target].block()
+        # the reboot loses the node's in-memory ARC along with the boots
+        timed.arc[fault.target].clear()
         # preempt every boot in flight on the dead host; each retries after
         # the rejoin event (and cancels its own half-done transfers)
+        preempted = 0
         for boot in timed.inflight(fault.target):
             boot.process.interrupt("node-crash")
+            preempted += 1
         yield engine.timeout(fault.duration_s)
         timed.nic[fault.target].unblock()
         # reboot done; catch up on everything registered while away (replays
@@ -106,6 +117,7 @@ class FaultInjector:
         yield timed.resync(fault.target)
         self.timeline.count("node_rejoins")
         self.timeline.observe("node_recovery_s", engine.now - crashed_at)
+        span.end(preempted_boots=preempted)
         self._rejoin.pop(fault.target).succeed()
 
     def _link_flap(self, fault: FaultSpec):
@@ -117,9 +129,14 @@ class FaultInjector:
             else timed.brick[fault.target]
         )
         self.timeline.count("link_flaps")
+        span = timed.tracer.span(
+            "fault.flap", track=fault.target, link=fault.target,
+            duration_s=fault.duration_s,
+        )
         pipe.block()
         yield engine.timeout(fault.duration_s)
         pipe.unblock()
+        span.end()
         self.timeline.count("link_restores")
 
     def _brick_fail(self, fault: FaultSpec):
@@ -130,13 +147,20 @@ class FaultInjector:
             self.timeline.count("faults_skipped")
             return
         self.timeline.count("brick_failures")
+        span = timed.tracer.span(
+            "fault.brick", track=fault.target, brick=fault.target,
+            duration_s=fault.duration_s,
+        )
         gluster.fail_node(fault.target)
         timed.brick[fault.target].block()
         # fetches being served by the dead brick are lost mid-stream; the
         # preempted boots re-read immediately through the degraded plan
+        preempted = 0
         for boot in timed.inflight_on_brick(fault.target):
             boot.process.interrupt("brick-failure")
+            preempted += 1
         yield engine.timeout(fault.duration_s)
         gluster.restore_node(fault.target)
         timed.brick[fault.target].unblock()
+        span.end(preempted_boots=preempted)
         self.timeline.count("brick_restores")

@@ -49,16 +49,17 @@ class LinkProfile:
             raise NetworkError("negative transfer size")
         return self.latency_s + n_bytes * max(1, streams) / self.bytes_per_s
 
-    def make_pipe(self, engine, *, name: str | None = None):
+    def make_pipe(self, engine, *, name: str | None = None, timeline=None):
         """Service-time hook for the event engine: this link as a shared
         :class:`repro.sim.Pipe` (processor-sharing at the NIC's payload
         rate), so concurrent timed transfers contend realistically instead
-        of using the closed-form ``transfer_time`` bound."""
+        of using the closed-form ``transfer_time`` bound. With a
+        ``timeline``, the pipe observes per-flow contention overhead."""
         from ..sim import Pipe  # local import: keep repro.net importable alone
 
         return Pipe(
             engine, self.bytes_per_s, latency_s=self.latency_s,
-            name=name or self.name,
+            name=name or self.name, timeline=timeline,
         )
 
 

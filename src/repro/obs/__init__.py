@@ -1,0 +1,17 @@
+"""Observability: deterministic span tracing + cache-tier latency attribution."""
+
+from .attribution import ARC_COUNTERS, BUCKETS, BootAttribution, attribution_block
+from .chrome import chrome_trace, dump_chrome_trace, write_chrome_trace
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "ARC_COUNTERS",
+    "BUCKETS",
+    "BootAttribution",
+    "Span",
+    "SpanTracer",
+    "attribution_block",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,105 @@
+"""Latency attribution: where each boot's seconds went.
+
+The boot path charges every elapsed sim-second of a boot to exactly one of
+four tiers, by marking the clock at each resume point:
+
+* ``cache_s`` — local cache-engine work: ARC lookups, the per-block ZFS
+  pipeline (block-pointer walk + DDT lookup), and decompression,
+* ``net_s``  — glusterfs brick + NIC transfer time (including the share lost
+  to contending flows — fair-shared pipes make queueing indistinguishable
+  from service),
+* ``disk_s`` — local disk *service* time (positioning + transfer at the
+  platter),
+* ``wait_s`` — everything else: queueing for the disk actuator or a
+  decompression core, waiting out a crashed host's rejoin, and time lost in
+  attempts a fault preempted.
+
+The invariant (regression-tested): per boot,
+``cache_s + net_s + disk_s + wait_s`` equals the boot's end-to-end latency —
+the buckets are a partition of the boot interval, not estimates.
+
+:class:`BootAttribution` is the per-boot accumulator the scenario driver
+charges into; :func:`attribution_block` folds a run's per-boot observations
+and ARC tier counters into the report/JSON block.
+"""
+
+from __future__ import annotations
+
+from ..sim import Engine, Timeline
+
+__all__ = ["BUCKETS", "ARC_COUNTERS", "BootAttribution", "attribution_block"]
+
+#: the four attribution tiers, in report order
+BUCKETS = ("cache_s", "net_s", "disk_s", "wait_s")
+
+#: per-tier ARC counters surfaced through the Timeline
+ARC_COUNTERS = (
+    "arc_t1_hits",
+    "arc_t2_hits",
+    "arc_b1_ghost_hits",
+    "arc_b2_ghost_hits",
+    "arc_misses",
+    "arc_evictions",
+)
+
+
+class BootAttribution:
+    """Charges elapsed sim-time to tiers by advancing a clock mark."""
+
+    __slots__ = ("engine", "buckets", "_mark")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.buckets = dict.fromkeys(BUCKETS, 0.0)
+        self._mark = engine.now
+
+    def charge(self, bucket: str) -> float:
+        """Charge everything since the last mark to ``bucket``."""
+        elapsed = self.engine.now - self._mark
+        self.buckets[bucket] += elapsed
+        self._mark = self.engine.now
+        return elapsed
+
+    def charge_split(self, service_s: float, bucket: str,
+                     rest: str = "wait_s") -> None:
+        """Charge ``service_s`` of the elapsed interval to ``bucket`` and the
+        remainder (queueing ahead of the service) to ``rest`` — how disk time
+        is split: the platter reports its service time, the actuator queue
+        accounts for the difference."""
+        elapsed = self.engine.now - self._mark
+        service_s = min(max(0.0, service_s), elapsed)
+        self.buckets[bucket] += service_s
+        self.buckets[rest] += elapsed - service_s
+        self._mark = self.engine.now
+
+    def observe(self, timeline: Timeline) -> None:
+        """Flush: charge any residual to wait and record one observation per
+        bucket (same index order as ``boot_latency_s``)."""
+        self.charge("wait_s")
+        for bucket in BUCKETS:
+            timeline.observe(f"attr_{bucket}", self.buckets[bucket])
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.buckets.values())
+
+
+def attribution_block(timeline: Timeline) -> dict:
+    """The per-run attribution summary for reports and ``--json``.
+
+    ``tiers`` carries per-boot percentile stats of each bucket; ``arc``
+    carries the run's per-tier ARC counters; ``hit_tier_fractions`` divides
+    all ARC lookups into t1 / t2 / miss shares (ghost hits are a subset of
+    the misses — a ghost remembers the key, not the data).
+    """
+    tiers = {
+        bucket: timeline.stats(f"attr_{bucket}").as_dict() for bucket in BUCKETS
+    }
+    arc = {name: int(timeline.counter(name)) for name in ARC_COUNTERS}
+    lookups = arc["arc_t1_hits"] + arc["arc_t2_hits"] + arc["arc_misses"]
+    fractions = {
+        "t1": arc["arc_t1_hits"] / lookups if lookups else 0.0,
+        "t2": arc["arc_t2_hits"] / lookups if lookups else 0.0,
+        "miss": arc["arc_misses"] / lookups if lookups else 0.0,
+    }
+    return {"arc": arc, "hit_tier_fractions": fractions, "tiers": tiers}

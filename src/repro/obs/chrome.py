@@ -1,0 +1,81 @@
+"""Chrome trace-event export: spans -> a Perfetto-loadable JSON object.
+
+The `trace event format`_ is the de-facto interchange format for timeline
+viewers (chrome://tracing, https://ui.perfetto.dev). Each closed span becomes
+one *complete* event (``"ph": "X"``); each tracer becomes one process (pid),
+each track one thread (tid), both named through metadata events.
+
+Everything is emitted with sorted keys and compact separators, so the same
+trace serialises to the same bytes — the determinism tests diff the files.
+
+.. _trace event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..common.report import to_jsonable
+from .spans import SpanTracer
+
+__all__ = ["chrome_trace", "dump_chrome_trace", "write_chrome_trace"]
+
+#: sim-seconds -> trace microseconds (the format's time unit)
+_US = 1e6
+
+
+def chrome_trace(tracers: dict[str, SpanTracer]) -> dict:
+    """Build the trace object for one or more tracers.
+
+    ``tracers`` maps a process name (e.g. ``"squirrel"``, ``"baseline"``) to
+    its tracer; processes get pids in sorted-name order, tracks get tids in
+    sorted-track order — both independent of dict insertion order.
+    """
+    events: list[dict] = []
+    for pid, process_name in enumerate(sorted(tracers), start=1):
+        tracer = tracers[process_name]
+        spans = tracer.spans()
+        tid_of = {
+            track: tid
+            for tid, track in enumerate(sorted({s.track for s in spans}), start=1)
+        }
+        events.append({
+            "args": {"name": process_name}, "name": "process_name",
+            "ph": "M", "pid": pid, "tid": 0,
+        })
+        for track, tid in tid_of.items():
+            events.append({
+                "args": {"name": track}, "name": "thread_name",
+                "ph": "M", "pid": pid, "tid": tid,
+            })
+        for span in spans:
+            end_s = span.end_s if span.end_s is not None else tracer.now
+            args = {str(k): to_jsonable(v) for k, v in sorted(span.attrs.items())}
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append({
+                "args": args,
+                "dur": (end_s - span.start_s) * _US,
+                "name": span.name,
+                "ph": "X",
+                "pid": pid,
+                "tid": tid_of[span.track],
+                "ts": span.start_s * _US,
+            })
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def dump_chrome_trace(tracers: dict[str, SpanTracer]) -> str:
+    """The trace as a canonical JSON string (sorted keys, compact)."""
+    return json.dumps(chrome_trace(tracers), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def write_chrome_trace(path: str | Path, tracers: dict[str, SpanTracer]) -> Path:
+    """Write the trace file; open it at https://ui.perfetto.dev."""
+    path = Path(path)
+    path.write_text(dump_chrome_trace(tracers) + "\n")
+    return path

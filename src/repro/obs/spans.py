@@ -1,0 +1,166 @@
+"""Deterministic span tracing on the simulation clock.
+
+A :class:`Span` is one causally-scoped interval of simulated time: it has a
+name, a deterministic integer id, an optional parent, a *track* (the Perfetto
+swimlane it renders on — one per cluster node by convention), start/end
+sim-times, and a dict of typed attributes. A :class:`SpanTracer` mints spans
+against an :class:`~repro.sim.Engine` clock.
+
+Determinism contract: span ids are allocated by a monotonic counter in span
+*start* order, and the engine's event order is already a pure function of the
+seed — so two same-seed runs produce byte-identical exports. Nothing here
+schedules events or draws randomness; tracing never perturbs the simulation.
+
+The tracer deliberately has **no implicit "current span" stack**: simulation
+processes are interleaved generators, so ambient context would attribute
+children to whichever process happened to run last. Parents are always passed
+explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim import Engine
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One timed interval; ``end()`` closes it at the current sim-time."""
+
+    __slots__ = ("name", "span_id", "parent_id", "track", "start_s", "end_s",
+                 "attrs", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        track: str,
+        start_s: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.track = track
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attrs = attrs
+
+    @property
+    def open(self) -> bool:
+        return self.end_s is None
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed sim-time; an open span measures up to the clock's now."""
+        end = self.end_s if self.end_s is not None else self._tracer.now
+        return end - self.start_s
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes (e.g. the fault that killed this span)."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs: Any) -> "Span":
+        """Close the span at the current sim-time; idempotent."""
+        self.attrs.update(attrs)
+        if self.end_s is None:
+            self.end_s = self._tracer.now
+        return self
+
+    def encloses(self, other: "Span") -> bool:
+        """Whether ``other``'s interval nests inside this span's."""
+        if self.end_s is None or other.end_s is None:
+            return False
+        return self.start_s <= other.start_s and other.end_s <= self.end_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end_s:.6f}" if self.end_s is not None else "open"
+        return (
+            f"Span(#{self.span_id} {self.name!r} track={self.track!r} "
+            f"[{self.start_s:.6f}, {end}])"
+        )
+
+
+class SpanTracer:
+    """Mints and records spans against one engine's clock."""
+
+    def __init__(self, engine: Engine | None = None) -> None:
+        self.engine = engine
+        self._spans: list[Span] = []
+        self._next_id = 1
+
+    @property
+    def now(self) -> float:
+        return self.engine.now if self.engine is not None else 0.0
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        track: str | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span starting now. ``track`` defaults to the parent's (a
+        child renders on its parent's swimlane), else to the span name."""
+        if track is None:
+            track = parent.track if parent is not None else name
+        span = Span(
+            self,
+            name,
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            track,
+            self.now,
+            dict(attrs),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    # -- queries ------------------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """All spans in start order, optionally filtered by name."""
+        if name is None:
+            return list(self._spans)
+        return [span for span in self._spans if span.name == name]
+
+    def get(self, span_id: int) -> Span:
+        """Span by id (ids are 1-based and dense, in start order)."""
+        span = self._spans[span_id - 1]
+        assert span.span_id == span_id
+        return span
+
+    def close_open_spans(self) -> int:
+        """End every still-open span at the current sim-time (end-of-run
+        flush: a crashed run's spans still export well-formed). Returns how
+        many were closed."""
+        closed = 0
+        for span in self._spans:
+            if span.open:
+                span.end(unfinished=True)
+                closed += 1
+        return closed
+
+    # -- deterministic rendering ----------------------------------------------------
+
+    def summary(self) -> dict:
+        """Per-name aggregates with sorted keys — the determinism
+        fingerprint of the trace (and the compact ``--json`` view)."""
+        by_name: dict[str, dict[str, float]] = {}
+        for span in self._spans:
+            entry = by_name.setdefault(
+                span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            duration = span.duration_s
+            entry["total_s"] += duration
+            entry["max_s"] = max(entry["max_s"], duration)
+        return {name: by_name[name] for name in sorted(by_name)}

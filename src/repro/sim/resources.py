@@ -9,7 +9,12 @@
   the contention a boot storm exercises.
 
 Both record their interesting moments into an optional
-:class:`~repro.sim.timeline.Timeline`.
+:class:`~repro.sim.timeline.Timeline`: a named Resource observes per-grant
+queue wait (``res_wait_s:<name>``), a named Pipe observes per-flow
+contention overhead over the uncontended transfer time
+(``pipe_wait_s:<name>``) — the raw material of queue-wait vs. service-time
+attribution. Recording never schedules events, so it cannot perturb the
+simulation's event order.
 """
 
 from __future__ import annotations
@@ -26,17 +31,29 @@ class Resource:
     """``capacity`` slots, granted strictly in request order."""
 
     def __init__(
-        self, engine: Engine, capacity: int = 1, *, name: str | None = None
+        self,
+        engine: Engine,
+        capacity: int = 1,
+        *,
+        name: str | None = None,
+        timeline=None,
     ) -> None:
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        self.timeline = timeline
         self.in_use = 0
         self._waiting: deque[Event] = deque()
+        #: request timestamps of queued grants (queue-wait telemetry)
+        self._queued_at: dict[Event, float] = {}
         #: grants handed out, for utilisation reporting
         self.total_grants = 0
+
+    def _observe_wait(self, wait_s: float) -> None:
+        if self.timeline is not None and self.name is not None:
+            self.timeline.observe(f"res_wait_s:{self.name}", wait_s)
 
     def request(self) -> Event:
         """Event that triggers when a slot is granted (yield it)."""
@@ -44,9 +61,11 @@ class Resource:
         if self.in_use < self.capacity:
             self.in_use += 1
             self.total_grants += 1
+            self._observe_wait(0.0)
             grant.succeed()
         else:
             self._waiting.append(grant)
+            self._queued_at[grant] = self.engine.now
         return grant
 
     def release(self) -> None:
@@ -56,6 +75,7 @@ class Resource:
         if self._waiting:
             grant = self._waiting.popleft()
             self.total_grants += 1
+            self._observe_wait(self.engine.now - self._queued_at.pop(grant))
             grant.succeed()
         else:
             self.in_use -= 1
@@ -67,6 +87,7 @@ class Resource:
         """
         try:
             self._waiting.remove(grant)
+            self._queued_at.pop(grant, None)
         except ValueError:
             self.release()
 
@@ -76,12 +97,16 @@ class Resource:
 
 
 class _Flow:
-    __slots__ = ("remaining", "event", "n_bytes")
+    __slots__ = ("remaining", "event", "n_bytes", "started_s", "ideal_s")
 
-    def __init__(self, n_bytes: float, event: Event) -> None:
+    def __init__(self, n_bytes: float, event: Event, started_s: float,
+                 ideal_s: float) -> None:
         self.n_bytes = n_bytes
         self.remaining = float(n_bytes)
         self.event = event
+        #: admission time and uncontended drain time, for contention telemetry
+        self.started_s = started_s
+        self.ideal_s = ideal_s
 
 
 class Pipe:
@@ -106,6 +131,7 @@ class Pipe:
         *,
         latency_s: float = 0.0,
         name: str | None = None,
+        timeline=None,
     ) -> None:
         if rate_bytes_per_s <= 0:
             raise SimulationError("pipe rate must be positive")
@@ -113,6 +139,7 @@ class Pipe:
         self.rate = float(rate_bytes_per_s)
         self.latency_s = latency_s
         self.name = name
+        self.timeline = timeline
         self._flows: list[_Flow] = []
         self._last_update = 0.0
         self._plan_version = 0
@@ -142,7 +169,11 @@ class Pipe:
             done.succeed(0, delay=self.latency_s)
             return done
         self._advance()
-        self._flows.append(_Flow(n_bytes, done))
+        #: uncontended drain time at the link's nominal rate (the saved rate
+        #: while a fault holds the pipe blocked)
+        nominal = self._saved_rate if self._blocks else self.rate
+        ideal_s = n_bytes / nominal if nominal > 0 else 0.0
+        self._flows.append(_Flow(n_bytes, done, self.engine.now, ideal_s))
         self._replan()
         return done
 
@@ -235,5 +266,10 @@ class Pipe:
         finished = [f for f in self._flows if f.remaining <= 0.0]
         self._flows = [f for f in self._flows if f.remaining > 0.0]
         for flow in finished:
+            if self.timeline is not None and self.name is not None:
+                overhead = (self.engine.now - flow.started_s) - flow.ideal_s
+                self.timeline.observe(
+                    f"pipe_wait_s:{self.name}", max(0.0, overhead)
+                )
             flow.event.succeed(flow.n_bytes, delay=self.latency_s)
         self._replan()

@@ -116,6 +116,12 @@ class Timeline:
         lines = [title]
         for name in sorted(self._counters):
             lines.append(f"  {name}: {self._counters[name]:g}")
+        for name in sorted(self._gauges):
+            samples = self._gauges[name]
+            at, last = samples[-1]
+            lines.append(
+                f"  {name}: last={last:g} @ {at:.3f}s (n={len(samples)})"
+            )
         for name in sorted(self._observations):
             s = self.stats(name)
             lines.append(

@@ -29,12 +29,22 @@ runs the storm under injected node crashes, link flaps and brick failures.
 Preempted boots cancel their half-done transfers, wait for the crashed host
 to rejoin (offline catch-up included), retry, and **always complete**; the
 report carries recovery-time percentiles next to the boot-time ones.
+
+Observability: every boot opens a root span on a :class:`~repro.obs.
+SpanTracer` with children for the ARC lookup, DDT/zio work, glusterfs
+transfers (tagged with the chosen replica and degraded state), NIC transfer
+and disk reads/writes; faults annotate the spans they kill. Each node runs
+an in-memory :class:`~repro.zfs.AdaptiveReplacementCache` over its cVolume
+blocks (a node crash wipes it), and every elapsed second of every boot is
+charged to exactly one of ``cache_s`` / ``net_s`` / ``disk_s`` / ``wait_s``
+(see :mod:`repro.obs.attribution`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..boot.backends import ZfsCostModel
 from ..common.errors import ConfigError
 from ..common.hashing import derive_seed
 from ..common.report import ReportBase
@@ -49,8 +59,15 @@ from ..core.squirrel import (
 from ..disk import DAS4_RAID0, DiskModel, TimedDisk
 from ..faults import FaultInjector, FaultPlan
 from ..net import GBE_1, LinkProfile
+from ..obs import (
+    BootAttribution,
+    SpanTracer,
+    attribution_block,
+    write_chrome_trace,
+)
 from ..sim import Engine, Event, HistogramStats, Interrupted, Pipe, Resource, Timeline
 from ..vmi import AzureCommunityDataset, DatasetConfig, make_estimator
+from ..zfs import AdaptiveReplacementCache
 from .arrivals import DAY_S, diurnal_arrivals, flash_crowd_arrivals, poisson_arrivals
 from .tenants import TenantPopulation
 
@@ -72,6 +89,8 @@ __all__ = [
 DECOMPRESS_BYTES_PER_S = 250e6
 #: disk span the scattered cache/working-set offsets are drawn over
 DISK_SPAN_BYTES = 1 << 40
+#: in-memory ARC budget per compute node (matches the cVolume boot backend)
+ARC_BYTES_PER_NODE = 256 << 20
 
 
 def _disk_offset(size: int, *key) -> int:
@@ -93,6 +112,35 @@ class _InflightBoot:
         self.bricks: set[str] = set()
 
 
+class _BootTrace:
+    """One boot's tracing context: the root span, the attribution ledger,
+    and the child spans a fault interrupt must annotate and close."""
+
+    __slots__ = ("tracer", "att", "root", "open_spans")
+
+    def __init__(self, tracer: SpanTracer, att: BootAttribution, root) -> None:
+        self.tracer = tracer
+        self.att = att
+        self.root = root
+        self.open_spans: list = []
+
+    def child(self, name: str, *, parent=None, **attrs):
+        """Open a child span on the boot's track, tracked for fault kills."""
+        span = self.tracer.span(
+            name, parent=parent or self.root, track=self.root.track, **attrs
+        )
+        self.open_spans.append(span)
+        return span
+
+    def kill(self, cause) -> None:
+        """A fault preempted this boot: close every span it left open,
+        recording what killed it."""
+        for span in self.open_spans:
+            if span.open:
+                span.end(interrupted=str(cause))
+        self.open_spans.clear()
+
+
 class TimedSquirrel:
     """Drives Squirrel operations through the event engine's resources."""
 
@@ -103,33 +151,52 @@ class TimedSquirrel:
         engine: Engine,
         timeline: Timeline,
         *,
+        tracer: SpanTracer | None = None,
         cpu_cores_per_node: int = 2,
+        arc_bytes_per_node: int = ARC_BYTES_PER_NODE,
     ) -> None:
         self.squirrel = squirrel
         self.dataset = dataset
         self.engine = engine
         self.timeline = timeline
+        self.tracer = tracer or SpanTracer(engine)
         #: timed transfers replay the paper-scale byte counts
         self.scale_up = dataset.scaled_up
         cluster = squirrel.cluster
         self.nic: dict[str, Pipe] = {
-            node.name: node.node.link.make_pipe(engine, name=f"nic:{node.name}")
+            node.name: node.node.link.make_pipe(
+                engine, name=f"nic:{node.name}", timeline=timeline
+            )
             for node in cluster.compute
         }
         self.brick: dict[str, Pipe] = {
-            node.name: node.link.make_pipe(engine, name=f"brick:{node.name}")
+            node.name: node.link.make_pipe(
+                engine, name=f"brick:{node.name}", timeline=timeline
+            )
             for node in cluster.storage.nodes
         }
         self.disk: dict[str, TimedDisk] = {
             node.name: TimedDisk(
-                engine, DiskModel(DAS4_RAID0), name=f"disk:{node.name}"
+                engine, DiskModel(DAS4_RAID0), name=f"disk:{node.name}",
+                timeline=timeline,
             )
             for node in cluster.compute
         }
         self.cpu: dict[str, Resource] = {
-            node.name: Resource(engine, cpu_cores_per_node, name=f"cpu:{node.name}")
+            node.name: Resource(
+                engine, cpu_cores_per_node, name=f"cpu:{node.name}",
+                timeline=timeline,
+            )
             for node in cluster.compute
         }
+        #: per-node in-memory ARC over cVolume blocks (decompressed records,
+        #: charged at paper-scale bytes); a node crash wipes it
+        self.arc: dict[str, AdaptiveReplacementCache] = {
+            node.name: AdaptiveReplacementCache(arc_bytes_per_node)
+            for node in cluster.compute
+        }
+        #: per-block ZFS pipeline costs (shared with the Figure 11 backend)
+        self.zfs_costs = ZfsCostModel()
         #: fault-injection hooks: the injector attaches itself here and
         #: consults the in-flight boot registry to preempt work
         self.faults: FaultInjector | None = None
@@ -173,7 +240,15 @@ class TimedSquirrel:
         engine = self.engine
         t0 = engine.now
         self.timeline.count("boots")
+        bt = _BootTrace(
+            self.tracer,
+            BootAttribution(engine),
+            self.tracer.span(
+                "boot", track=node_name, node=node_name, image_id=image_id
+            ),
+        )
         first_fail: float | None = None
+        interrupts = 0
         try:
             while True:
                 try:
@@ -183,14 +258,21 @@ class TimedSquirrel:
                         if first_fail is None:
                             first_fail = engine.now
                             self.timeline.count("boots_delayed")
+                        wait_span = bt.child("fault.wait", cause="node-down")
                         yield self.faults.rejoin_event(node_name)
+                        bt.att.charge("wait_s")
+                        wait_span.end()
                     cache_hit = yield from self._attempt(
-                        image_id, node_name, force_cold, handle
+                        image_id, node_name, force_cold, handle, bt
                     )
                     break
-                except Interrupted:
+                except Interrupted as fault:
                     # preempted (node crash / brick failure): loop — either
-                    # wait for the rejoin or re-plan around the dead brick
+                    # wait for the rejoin or re-plan around the dead brick.
+                    # Time sunk into the killed attempt is recovery wait.
+                    bt.att.charge("wait_s")
+                    bt.kill(fault.cause)
+                    interrupts += 1
                     if first_fail is None:
                         first_fail = engine.now
                     self.timeline.count("boot_interrupts")
@@ -198,11 +280,15 @@ class TimedSquirrel:
             self._inflight[node_name].pop(handle, None)
         self.timeline.count("cache_hits" if cache_hit else "cold_boots")
         self.timeline.observe("boot_latency_s", engine.now - t0)
+        bt.att.observe(self.timeline)
+        bt.root.end(
+            cache_hit=cache_hit, interrupts=interrupts, **bt.att.buckets
+        )
         if first_fail is not None:
             self.timeline.observe("recovery_s", engine.now - first_fail)
         return engine.now - t0
 
-    def _attempt(self, image_id: int, node_name: str, force_cold: bool, handle):
+    def _attempt(self, image_id, node_name, force_cold: bool, handle, bt):
         """One boot attempt (the pre-fault boot path, verbatim)."""
         if force_cold:
             # the "w/o caches" baseline: the boot set crosses the network
@@ -218,19 +304,77 @@ class TimedSquirrel:
             moved = outcome.network_bytes
             cache_hit = outcome.cache_hit
         if cache_hit:
-            yield from self._warm_read(image_id, node_name)
+            yield from self._warm_read(image_id, node_name, bt)
         else:
-            yield from self._cold_fetch(node_name, moved, plan, handle)
+            yield from self._cold_fetch(node_name, moved, plan, handle, bt)
         return cache_hit
 
-    def _warm_read(self, image_id: int, node_name: str):
-        """Cache hit: read the compressed cache off the local pool, then
-        decompress it — zero network involvement."""
+    def _paper_blocks(self, logical_bytes: int) -> int:
+        """Paper-scale record count behind ``logical_bytes`` of scaled data
+        (the unit the per-block ZFS pipeline costs are charged against)."""
+        if logical_bytes <= 0:
+            return 0
+        record = self.squirrel.cluster.storage.scvolume.record_size
+        return max(1, int(self.scale_up(logical_bytes)) // record)
+
+    def _warm_read(self, image_id: int, node_name: str, bt):
+        """Cache hit: resolve each cVolume block through the node's ARC;
+        misses read the compressed record off the local pool and decompress
+        it — zero network involvement either way."""
         node = self.squirrel.cluster.node(node_name)
         cache = node.ccvolume.file(self.squirrel.cache_file_of(image_id))
-        physical = int(self.scale_up(sum(bp.psize for bp in cache.blocks)))
-        logical = int(self.scale_up(sum(bp.lsize for bp in cache.blocks)))
-        yield self.disk[node_name].read(_disk_offset(physical, image_id), physical)
+        arc = self.arc[node_name]
+        before = arc.stats.as_dict()
+        lookup = bt.child("arc.lookup", image_id=image_id)
+        total_logical = 0
+        missed_physical = missed_logical = 0
+        blocks = misses = 0
+        for index, bp in enumerate(cache.blocks):
+            if bp.is_hole:
+                continue
+            blocks += 1
+            total_logical += bp.lsize
+            if arc.get((image_id, index)) is not None:
+                continue  # decompressed record resident in T1/T2: free
+            misses += 1
+            missed_physical += bp.psize
+            missed_logical += bp.lsize
+            arc.put(
+                (image_id, index), True, max(1, int(self.scale_up(bp.lsize)))
+            )
+        after = arc.stats.as_dict()
+        delta = {key: after[key] - before[key] for key in after}
+        self.timeline.count("arc_t1_hits", delta["t1_hits"])
+        self.timeline.count("arc_t2_hits", delta["t2_hits"])
+        self.timeline.count("arc_b1_ghost_hits", delta["b1_ghost_hits"])
+        self.timeline.count("arc_b2_ghost_hits", delta["b2_ghost_hits"])
+        self.timeline.count("arc_misses", delta["misses"])
+        self.timeline.count(
+            "arc_evictions", delta["t1_evictions"] + delta["t2_evictions"]
+        )
+        self.timeline.gauge(f"arc_p:{node_name}", arc.p)
+        self.timeline.gauge(f"arc_resident:{node_name}", arc.resident_bytes)
+        # the block-pointer walk + DDT/ZAP lookup for every record of the
+        # paper-scale cache file
+        yield self.engine.timeout(
+            self._paper_blocks(total_logical) * self.zfs_costs.ddt_lookup_s
+        )
+        bt.att.charge("cache_s")
+        lookup.end(
+            t1_hits=delta["t1_hits"], t2_hits=delta["t2_hits"], misses=misses,
+            ghost_hits=delta["b1_ghost_hits"] + delta["b2_ghost_hits"],
+        )
+        if misses == 0:
+            return  # pure memory boot: every record was ARC-resident
+        physical = int(self.scale_up(missed_physical))
+        logical = int(self.scale_up(missed_logical))
+        disk_span = bt.child("disk.read", n_bytes=physical)
+        service = yield self.disk[node_name].read(
+            _disk_offset(physical, image_id), physical
+        )
+        bt.att.charge_split(service, "disk_s")
+        disk_span.end(service_s=service)
+        zio = bt.child("zio.decompress", n_bytes=logical)
         grant = self.cpu[node_name].request()
         try:
             yield grant
@@ -238,25 +382,52 @@ class TimedSquirrel:
             # preempted while queued for (or holding) a core: give it back
             self.cpu[node_name].cancel(grant)
             raise
+        bt.att.charge("wait_s")
         try:
-            yield self.engine.timeout(logical / DECOMPRESS_BYTES_PER_S)
+            yield self.engine.timeout(
+                self._paper_blocks(missed_logical) * self.zfs_costs.per_block_cpu_s
+                + logical / DECOMPRESS_BYTES_PER_S
+            )
+            bt.att.charge("cache_s")
         finally:
             self.cpu[node_name].release()
+        zio.end()
 
-    def _cold_fetch(self, node_name: str, moved: int, plan, handle):
+    def _cold_fetch(self, node_name: str, moved: int, plan, handle, bt):
         """Cache miss: the boot set streams from the bricks through the
         node's NIC, then lands on the local disk (copy-on-read)."""
+        gluster = self.squirrel.cluster.storage.gluster
+        total = int(self.scale_up(moved))
+        fetch = bt.child(
+            "gluster.fetch", n_bytes=total, degraded=gluster.degraded
+        )
         flows: list[tuple[Pipe, Event]] = []
         try:
             for node, n_bytes in plan:
                 pipe = self.brick[node.name]
-                flows.append((pipe, pipe.transfer(int(self.scale_up(n_bytes)))))
+                n_scaled = int(self.scale_up(n_bytes))
+                span = bt.child(
+                    "gluster.transfer", parent=fetch, replica=node.name,
+                    n_bytes=n_scaled, degraded=gluster.degraded,
+                )
+                event = pipe.transfer(n_scaled)
+                event._wait(lambda _e, s=span: s.end())
+                flows.append((pipe, event))
                 handle.bricks.add(node.name)
-            total = int(self.scale_up(moved))
             nic = self.nic[node_name]
-            flows.append((nic, nic.transfer(total)))
+            nic_span = bt.child("nic.transfer", parent=fetch, n_bytes=total)
+            nic_event = nic.transfer(total)
+            nic_event._wait(lambda _e, s=nic_span: s.end())
+            flows.append((nic, nic_event))
             yield self.engine.all_of([event for _pipe, event in flows])
-            yield self.disk[node_name].write(_disk_offset(total, node_name), total)
+            bt.att.charge("net_s")
+            fetch.end()
+            disk_span = bt.child("disk.write", n_bytes=total)
+            service = yield self.disk[node_name].write(
+                _disk_offset(total, node_name), total
+            )
+            bt.att.charge_split(service, "disk_s")
+            disk_span.end(service_s=service)
         except Interrupted:
             # the fetch died with the node/brick: withdraw the half-done
             # flows so surviving transfers get their bandwidth share back
@@ -275,6 +446,9 @@ class TimedSquirrel:
     def _register(self, spec):
         engine = self.engine
         t0 = engine.now
+        span = self.tracer.span(
+            "register", track="control", image_id=spec.image_id
+        )
         # boot-once on a storage node + snapshot, then the accounting call
         yield engine.timeout(REGISTRATION_BOOT_SECONDS + SNAPSHOT_CREATE_SECONDS)
         self._sync_clock()
@@ -289,6 +463,7 @@ class TimedSquirrel:
             for node in self.squirrel.cluster.online_nodes()
         ]
         yield engine.all_of(transfers)
+        span.end(diff_bytes=diff)
         self.timeline.count("registrations")
         self.timeline.observe("register_latency_s", engine.now - t0)
         return record
@@ -303,6 +478,7 @@ class TimedSquirrel:
     def _resync(self, node_name: str):
         engine = self.engine
         t0 = engine.now
+        span = self.tracer.span("resync", track=node_name, node=node_name)
         self._sync_clock()
         node = self.squirrel.cluster.node(node_name)
         scvol = self.squirrel.cluster.storage.scvolume
@@ -320,13 +496,16 @@ class TimedSquirrel:
                 self.brick[primary].transfer(scaled),
                 self.nic[node_name].transfer(scaled),
             ])
+        span.end(n_bytes=moved, incremental=incremental if moved else None)
         self.timeline.observe("resync_latency_s", engine.now - t0)
         return moved
 
     def collect_garbage(self):
         """GC is metadata-only: instantaneous, but clock-synced."""
         self._sync_clock()
+        span = self.tracer.span("gc", track="control")
         victims = self.squirrel.collect_garbage()
+        span.end(victims=len(victims))
         self.timeline.count("gc_runs")
         self.timeline.count("gc_victims", len(victims))
         return victims
@@ -404,6 +583,10 @@ class StormSide:
     latency: HistogramStats
     recovery: HistogramStats  #: per-boot: first fault impact -> completion
     node_recovery: HistogramStats  #: per-crash: crash -> rebooted + resynced
+    #: latency attribution: per-boot cache/net/disk/wait stats + ARC tiers
+    attribution: dict = field(repr=False)
+    #: per-span-name aggregates from the run's tracer
+    spans: dict = field(repr=False)
     summary: dict = field(repr=False)
 
 
@@ -444,7 +627,7 @@ def _run_storm_side(
     dataset: AzureCommunityDataset,
     estimator,
     plan,
-) -> StormSide:
+) -> tuple[StormSide, SpanTracer]:
     _, squirrel, engine, timeline, timed = _build_rig(
         n_compute=config.n_nodes,
         n_storage=config.n_storage,
@@ -476,7 +659,8 @@ def _run_storm_side(
     for at, node_name, image_id in plan:
         engine.process(vm(at, node_name, image_id), label=f"vm:{node_name}:{image_id}")
     horizon = engine.run()
-    return StormSide(
+    timed.tracer.close_open_spans()
+    side = StormSide(
         boots=int(timeline.counter("boots")),
         cache_hits=int(timeline.counter("cache_hits")),
         interrupted_boots=int(timeline.counter("boot_interrupts")),
@@ -488,8 +672,11 @@ def _run_storm_side(
         latency=timeline.stats("boot_latency_s"),
         recovery=timeline.stats("recovery_s"),
         node_recovery=timeline.stats("node_recovery_s"),
+        attribution=attribution_block(timeline),
+        spans=timed.tracer.summary(),
         summary=timeline.summary(),
     )
+    return side, timed.tracer
 
 
 def boot_storm(
@@ -497,12 +684,15 @@ def boot_storm(
     *,
     dataset: AzureCommunityDataset | None = None,
     estimator=None,
+    trace_path=None,
 ) -> StormReport:
     """Run the same flash crowd with Squirrel and without caches.
 
     ``dataset``/``estimator`` let a caller that already owns them (the
     experiment registry's shared context) avoid rebuilding the full image
     dataset per run; they must match ``config.scale``/``config.block_size``.
+    With a ``trace_path``, both sides' spans are exported there as one
+    Chrome trace-event JSON file (processes ``squirrel``/``baseline``).
     """
     if config.n_nodes < 1 or config.vms_per_node < 1:
         raise ConfigError("storm needs at least one node and one VM")
@@ -512,13 +702,17 @@ def boot_storm(
     )
     n_images = len(dataset.images)
     plan = _storm_trace(config, min(config.n_nodes * config.vms_per_node, n_images))
-    sides = {
-        with_caches: _run_storm_side(
+    sides = {}
+    tracers = {}
+    for with_caches in (True, False):
+        side, tracer = _run_storm_side(
             config, with_caches=with_caches, dataset=dataset,
             estimator=estimator, plan=plan,
         )
-        for with_caches in (True, False)
-    }
+        sides[with_caches] = side
+        tracers["squirrel" if with_caches else "baseline"] = tracer
+    if trace_path is not None:
+        write_chrome_trace(trace_path, tracers)
     return StormReport(
         n_nodes=config.n_nodes,
         vms_per_node=config.vms_per_node,

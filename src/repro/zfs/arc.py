@@ -24,15 +24,48 @@ V = TypeVar("V")
 
 @dataclass
 class ArcStats:
-    """Hit/miss counters."""
+    """Per-tier hit/miss/eviction counters.
+
+    ``hits``/``misses`` stay the coarse totals earlier callers rely on; the
+    tier counters split them the way latency attribution needs: a T1 hit is a
+    recency win, a T2 hit a frequency win, a ghost hit a miss that still
+    steered the adaptive target ``p``, and evictions say which list paid.
+    """
 
     hits: int = 0
     misses: int = 0
+    t1_hits: int = 0
+    t2_hits: int = 0
+    b1_ghost_hits: int = 0
+    b2_ghost_hits: int = 0
+    t1_evictions: int = 0
+    t2_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def ghost_hits(self) -> int:
+        return self.b1_ghost_hits + self.b2_ghost_hits
+
+    @property
+    def evictions(self) -> int:
+        return self.t1_evictions + self.t2_evictions
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view with sorted-stable keys for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "t1_hits": self.t1_hits,
+            "t2_hits": self.t2_hits,
+            "b1_ghost_hits": self.b1_ghost_hits,
+            "b2_ghost_hits": self.b2_ghost_hits,
+            "t1_evictions": self.t1_evictions,
+            "t2_evictions": self.t2_evictions,
+        }
 
 
 class AdaptiveReplacementCache(Generic[K, V]):
@@ -68,10 +101,12 @@ class AdaptiveReplacementCache(Generic[K, V]):
             self._t2[key] = (value, size)
             self._t2_bytes += size
             self.stats.hits += 1
+            self.stats.t1_hits += 1
             return value
         if key in self._t2:
             self._t2.move_to_end(key)
             self.stats.hits += 1
+            self.stats.t2_hits += 1
             return self._t2[key][0]
         self.stats.misses += 1
         return None
@@ -87,6 +122,7 @@ class AdaptiveReplacementCache(Generic[K, V]):
             self._remove_resident(key)
         if key in self._b1:
             # ghost hit in B1: favour recency — grow p
+            self.stats.b1_ghost_hits += 1
             delta = max(1, self._b2_bytes // max(1, self._b1_bytes)) * size
             self._p = min(self.capacity, self._p + delta)
             self._b1_bytes -= self._b1.pop(key)
@@ -96,6 +132,7 @@ class AdaptiveReplacementCache(Generic[K, V]):
             return
         if key in self._b2:
             # ghost hit in B2: favour frequency — shrink p
+            self.stats.b2_ghost_hits += 1
             delta = max(1, self._b1_bytes // max(1, self._b2_bytes)) * size
             self._p = max(0, self._p - delta)
             self._b2_bytes -= self._b2.pop(key)
@@ -110,7 +147,9 @@ class AdaptiveReplacementCache(Generic[K, V]):
                 self._evict_ghost(self._b1, "_b1_bytes", l1_bytes - self.capacity + size)
                 self._replace(in_b2=False, incoming=size)
             else:
-                self._evict_lru(self._t1, "_t1_bytes", ghost=None, needed=size)
+                # T1 alone fills L1: evict its LRU entries, remembering them
+                # in the B1 ghost list so an early re-reference still steers p
+                self._evict_t1_to_ghost(needed=size)
         else:
             total = l1_bytes + self._t2_bytes + self._b2_bytes
             if total >= self.capacity:
@@ -128,6 +167,21 @@ class AdaptiveReplacementCache(Generic[K, V]):
     def resident_bytes(self) -> int:
         """Bytes held by cached values (T1 + T2)."""
         return self._t1_bytes + self._t2_bytes
+
+    @property
+    def p(self) -> int:
+        """Adaptive target size (bytes) of T1 — the recency/frequency dial;
+        scenario drivers sample it as a gauge."""
+        return self._p
+
+    def tier_bytes(self) -> dict[str, int]:
+        """Resident/ghost bytes per list, for telemetry."""
+        return {
+            "t1": self._t1_bytes,
+            "t2": self._t2_bytes,
+            "b1": self._b1_bytes,
+            "b2": self._b2_bytes,
+        }
 
     def clear(self) -> None:
         """Drop all cached data and ghosts (e.g. node reboot)."""
@@ -162,16 +216,24 @@ class AdaptiveReplacementCache(Generic[K, V]):
                 self._t1_bytes -= size
                 self._b1[key] = size
                 self._b1_bytes += size
+                self.stats.t1_evictions += 1
             else:
                 key, (_, size) = self._t2.popitem(last=False)
                 self._t2_bytes -= size
                 self._b2[key] = size
                 self._b2_bytes += size
+                self.stats.t2_evictions += 1
 
-    def _evict_lru(self, lru: OrderedDict, counter: str, ghost, needed: int) -> None:
-        while lru and self._t1_bytes + self._t2_bytes + needed > self.capacity:
-            _key, (_, size) = lru.popitem(last=False)
-            setattr(self, counter, getattr(self, counter) - size)
+    def _evict_t1_to_ghost(self, needed: int) -> None:
+        """Evict T1 LRU entries until ``needed`` bytes fit; evicted keys land
+        in the B1 ghost list (ARC's |T1| = c case), so a prompt re-reference
+        is recognised as a recency miss and grows ``p``."""
+        while self._t1 and self._t1_bytes + self._t2_bytes + needed > self.capacity:
+            key, (_, size) = self._t1.popitem(last=False)
+            self._t1_bytes -= size
+            self._b1[key] = size
+            self._b1_bytes += size
+            self.stats.t1_evictions += 1
 
     def _evict_ghost(self, ghost: OrderedDict, counter: str, overflow: int) -> None:
         shed = 0

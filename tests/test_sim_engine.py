@@ -252,3 +252,14 @@ class TestTimeline:
         timeline = Timeline()
         timeline.observe("latency", 1.0)
         assert "p95" in timeline.render()
+
+    def test_render_includes_gauges(self):
+        """Regression: gauges used to be summarised only, never rendered."""
+        engine = Engine()
+        timeline = Timeline(engine)
+        timeline.gauge("arc_p:compute0", 128.0)
+        timeline.gauge("arc_p:compute0", 256.0)
+        rendered = timeline.render()
+        assert "arc_p:compute0" in rendered
+        assert "last=256" in rendered
+        assert "n=2" in rendered

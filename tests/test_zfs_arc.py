@@ -98,6 +98,35 @@ class TestAdaptivity:
         arc.put("a", 1, 100)  # ghost hit
         assert "a" in arc
 
+    def test_full_t1_eviction_remembers_keys_in_b1(self):
+        """Regression: when T1 alone fills L1, the evicted LRU keys must
+        land in the B1 ghost list (ARC's |T1| = c case) instead of being
+        forgotten — a prompt re-reference is a recency miss that grows p."""
+        arc = make(300)
+        for key in ("a", "b", "c"):
+            arc.put(key, key, 100)  # T1 = c, B1 empty
+        arc.put("d", 4, 100)  # full-T1 path: evicts "a"
+        assert "a" not in arc
+        assert arc.stats.t1_evictions >= 1
+        p_before = arc.p
+        arc.put("a", 1, 100)  # must be a B1 ghost hit, not a cold insert
+        assert arc.stats.b1_ghost_hits == 1
+        assert arc.p > p_before
+        arc.get("a")
+        assert arc.stats.t2_hits == 1  # ghost hits re-insert into T2
+
+    def test_per_tier_stats_split_the_totals(self):
+        arc = make(1000)
+        arc.put("a", 1, 100)
+        arc.get("a")  # T1 hit (promotes to T2)
+        arc.get("a")  # T2 hit
+        arc.get("nope")  # miss
+        stats = arc.stats
+        assert stats.hits == stats.t1_hits + stats.t2_hits == 2
+        assert (stats.t1_hits, stats.t2_hits, stats.misses) == (1, 1, 1)
+        assert stats.as_dict()["t1_hits"] == 1
+        assert set(arc.tier_bytes()) == {"t1", "t2", "b1", "b2"}
+
 
 class TestWorkloads:
     def test_lru_friendly_workload_hits(self):
