@@ -12,25 +12,35 @@ Usage::
     python -m repro storm --faults "crash:compute1@40+45,flap:compute3@20+15"
     python -m repro recovery             # faulted storm with the default plan
     python -m repro storm --trace storm.json   # Perfetto-loadable span trace
+    python -m repro sweep storm --grid "nodes=16,32 seed=0..3" --workers 4
+    python -m repro sweep storm --grid "seed=0..7" --manifest sweep.jsonl
+    python -m repro sweep storm --grid "seed=0..7" --resume sweep.jsonl
 
 Experiments come from :mod:`repro.experiments.registry`: importing
 :mod:`repro.experiments` registers every module's ``run`` function, and
 this CLI is a thin loop over the registry — id resolution (including
-aliases), per-experiment CLI options, rendering and ``--json`` all derive
-from it. One :class:`ExperimentContext` is shared across the whole
-invocation, so ``python -m repro all`` synthesises each dataset scale once.
+aliases), rendering and ``--json`` all derive from it, and every
+per-experiment flag (``--nodes``, ``--seed``, ``--faults``, ``--trace``,
+``--fabric``, …) is generated from the experiment's declared
+:class:`~repro.experiments.params.ParamSpec` entries rather than
+hard-coded here. One :class:`ExperimentContext` is shared across the whole
+invocation, so ``python -m repro all`` synthesises each dataset scale
+once. ``python -m repro sweep`` fans a parameter grid across worker
+processes via :mod:`repro.sweep`.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 import time
 
 from .common.errors import ConfigError
+from .common.report import dumps_canonical
 from .experiments import ExperimentConfig, ExperimentContext
 from .experiments import registry
+from .experiments.params import ParamSpec, parse_bool
 
 #: registry-derived views, kept for backwards compatibility:
 #: id -> (title, Experiment), and alias -> canonical id
@@ -39,12 +49,76 @@ EXPERIMENTS = {
 }
 ALIASES = registry.aliases()
 
+#: how a ParamSpec type parses one CLI token
+_ARG_PARSERS = {int: int, float: float, str: str, bool: parse_bool}
 
-def main(argv: list[str] | None = None) -> int:
+
+def _add_spec_flags(parser: argparse.ArgumentParser, specs) -> None:
+    """Add one argparse flag per distinct ParamSpec name.
+
+    Defaults are ``None`` ("not provided"): each experiment fills in its
+    own declared default during validation, so ``--faults`` can default to
+    no plan for ``storm`` but to the crash+flap plan for ``recovery``.
+    """
+    seen: dict[str, ParamSpec] = {}
+    for spec in specs:
+        if spec.name in seen:
+            if seen[spec.name].type is not spec.type:
+                raise ConfigError(
+                    f"parameter {spec.name!r} declared with conflicting "
+                    "types across experiments"
+                )
+            continue
+        seen[spec.name] = spec
+        parser.add_argument(
+            spec.flag,
+            dest=spec.name,
+            type=_ARG_PARSERS[spec.type],
+            default=None,
+            metavar=spec.name.upper(),
+            help=spec.help or None,
+        )
+
+
+def _provided(args: argparse.Namespace, specs) -> dict:
+    """The param values the user actually passed, keyed by spec name."""
+    values = {}
+    for spec in specs:
+        value = getattr(args, spec.name, None)
+        if value is not None:
+            values[spec.name] = value
+    return values
+
+
+def _list_experiments() -> int:
+    """The ``list`` command."""
+    for exp_id, exp in registry.all_experiments().items():
+        print(f"{exp_id:8s} {exp.title}")
+    print(
+        "aliases:",
+        ", ".join(f"{k}->{v}" for k, v in registry.aliases().items()),
+    )
+    return 0
+
+
+def _union_specs() -> list[ParamSpec]:
+    """Every declared ParamSpec across the registry, first wins per name."""
+    specs: list[ParamSpec] = []
+    seen: set[str] = set()
+    for exp in registry.all_experiments().values():
+        for spec in exp.params:
+            if spec.name not in seen:
+                seen.add(spec.name)
+                specs.append(spec)
+    return specs
+
+
+def _run_command(argv: list[str]) -> int:
+    """``python -m repro <experiment>|all [flags]``."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Squirrel (HPDC'14) reproduction experiments"
     )
-    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument("experiment", help="experiment id, 'list', 'all', or 'sweep'")
     parser.add_argument(
         "--scale", type=float, default=32, help="dataset scale denominator (default 32)"
     )
@@ -52,67 +126,43 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", type=int, default=1, help="keep every N-th image (default 1)"
     )
     parser.add_argument(
-        "--nodes", type=int, default=64, help="storm: compute nodes (default 64)"
-    )
-    parser.add_argument(
-        "--vms-per-node", type=int, default=8, help="storm: VMs per node (default 8)"
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="storm: arrival-trace seed (default 0)"
-    )
-    parser.add_argument(
-        "--faults",
-        default=None,
-        metavar="PLAN",
-        help=(
-            "storm/recovery: injected fault plan, comma-separated "
-            "kind:target@start+duration specs, e.g. "
-            "'crash:compute1@40+45,flap:compute3@20+15' "
-            "(kinds: crash, flap, brick)"
-        ),
-    )
-    parser.add_argument(
-        "--trace",
-        default=None,
-        metavar="PATH",
-        help=(
-            "storm/recovery: write a Chrome trace-event JSON file of every "
-            "boot's spans to PATH (open at https://ui.perfetto.dev)"
-        ),
-    )
-    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the result as JSON on stdout (timings go to stderr)",
     )
+    union = _union_specs()
+    _add_spec_flags(parser, union)
     args = parser.parse_args(argv)
 
     experiments = registry.all_experiments()
-    if args.experiment == "list":
-        for exp_id, exp in experiments.items():
-            print(f"{exp_id:8s} {exp.title}")
-        print(
-            "aliases:",
-            ", ".join(f"{k}->{v}" for k, v in registry.aliases().items()),
-        )
-        return 0
-
-    ctx = ExperimentContext(
-        ExperimentConfig(scale=1.0 / args.scale, quick=max(1, args.quick))
-    )
     wanted = list(experiments) if args.experiment == "all" else [args.experiment]
-    collected: dict[str, dict] = {}
+
+    # Validate every id and every param set *before* running anything: a
+    # late failure inside the loop would discard completed experiments.
+    plan = []
     for name in wanted:
         try:
             exp = registry.get(name)
         except ConfigError:
             parser.error(f"unknown experiment {name!r}; try 'list'")
+        provided = _provided(args, union)
+        if args.experiment == "all":
+            # route each flag only to the experiments declaring it
+            declared = {spec.name for spec in exp.params}
+            provided = {k: v for k, v in provided.items() if k in declared}
         try:
-            kwargs = exp.run_kwargs(args)
+            params = exp.validate(provided)
         except ConfigError as error:
             parser.error(str(error))
+        plan.append((exp, params))
+
+    ctx = ExperimentContext(
+        ExperimentConfig(scale=1.0 / args.scale, quick=max(1, args.quick))
+    )
+    collected: dict[str, dict] = {}
+    for exp, params in plan:
         started = time.perf_counter()
-        result = exp.run(ctx, **kwargs)
+        result = exp.run(ctx, **params)
         elapsed = time.perf_counter() - started
         if args.json:
             collected[exp.exp_id] = result.to_dict()
@@ -123,8 +173,148 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{elapsed:.1f}s]\n")
     if args.json:
         payload = collected if args.experiment == "all" else next(iter(collected.values()))
-        print(json.dumps(payload, sort_keys=True))
+        print(dumps_canonical(payload))
     return 0
+
+
+def _sweep_command(argv: list[str]) -> int:
+    """``python -m repro sweep <experiment> --grid ... [--workers N]``."""
+    from .sweep import SweepSpec, render_sweep, run_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="fan an experiment's parameter grid across processes",
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (optional when --spec names one)",
+    )
+    parser.add_argument(
+        "--grid",
+        default=None,
+        metavar="AXES",
+        help="grid DSL: whitespace-separated name=v1,v2 or name=a..b axes, "
+        "e.g. \"nodes=16,32 seed=0..3\"",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="TOML/JSON sweep spec (experiment + grid + params)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        dest="fixed",
+        help="fix one non-gridded parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1)"
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="append each completed point to this JSONL manifest",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from this manifest: completed points are not re-run",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_SCALE", "32")),
+        help="dataset scale denominator for worker contexts (default "
+        "$REPRO_SCALE or 32)",
+    )
+    parser.add_argument(
+        "--quick",
+        type=int,
+        default=int(os.environ.get("REPRO_QUICK", "1")),
+        help="keep every N-th image in worker contexts (default "
+        "$REPRO_QUICK or 1)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged sweep report as JSON on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.resume is not None and args.manifest is not None:
+        parser.error("--resume already names the manifest; drop --manifest")
+    manifest_path = args.resume if args.resume is not None else args.manifest
+
+    try:
+        if args.spec is not None:
+            spec = SweepSpec.from_file(args.spec)
+            if args.experiment and registry.get(args.experiment).exp_id != spec.experiment:
+                parser.error(
+                    f"--spec is for {spec.experiment!r}, not {args.experiment!r}"
+                )
+            if args.grid or args.fixed:
+                parser.error("--spec already carries the grid; drop --grid/--set")
+        else:
+            if args.experiment is None or args.grid is None:
+                parser.error("give an experiment and --grid, or a --spec file")
+            exp = registry.get(args.experiment)
+            fixed = {}
+            for assignment in args.fixed:
+                name, eq, value = assignment.partition("=")
+                if not eq:
+                    parser.error(f"bad --set {assignment!r}: expected NAME=VALUE")
+                fixed[name] = exp.param(name).parse(value)
+            spec = SweepSpec.from_grid(args.experiment, args.grid, fixed)
+
+        exp = registry.get(spec.experiment)
+
+        def progress(point, status, elapsed):
+            label = " ".join(
+                f"{axis}={point.requested[axis]}" for axis in spec.grid
+            )
+            if status == "cached":
+                print(f"[{spec.experiment} {label}: resumed]", file=sys.stderr)
+            else:
+                print(
+                    f"[{spec.experiment} {label}: {elapsed:.1f}s]", file=sys.stderr
+                )
+
+        started = time.perf_counter()
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            manifest_path=manifest_path,
+            resume=args.resume is not None,
+            scale=args.scale,
+            quick=max(1, args.quick),
+            progress=progress,
+        )
+        elapsed = time.perf_counter() - started
+    except ConfigError as error:
+        parser.error(str(error))
+
+    if args.json:
+        print(dumps_canonical(result.to_dict()))
+        print(f"[sweep: {elapsed:.1f}s]", file=sys.stderr)
+    else:
+        print(render_sweep(result, metrics=exp.metrics))
+        print(f"[sweep: {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: dispatch to list/run/sweep."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "list":
+        return _list_experiments()
+    if argv and argv[0] == "sweep":
+        return _sweep_command(argv[1:])
+    return _run_command(argv)
 
 
 if __name__ == "__main__":

@@ -12,12 +12,13 @@ consume this instead of scraping printed tables.
 from __future__ import annotations
 
 import dataclasses
+import json
 from enum import Enum
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["Report", "ReportBase", "to_jsonable"]
+__all__ = ["Report", "ReportBase", "to_jsonable", "dumps_canonical"]
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -42,6 +43,16 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, (list, tuple, set, frozenset)):
         return [to_jsonable(item) for item in obj]
     raise TypeError(f"cannot convert {type(obj).__name__} to JSON-able data")
+
+
+def dumps_canonical(obj: Any) -> str:
+    """Serialise ``obj`` (a report, dict, or anything :func:`to_jsonable`
+    accepts) as canonical JSON: keys sorted, fixed separators, no trailing
+    whitespace. The CLI's ``--json`` output, the sweep runner's merged
+    reports and the sweep manifest all use this one encoder, which is what
+    makes "``--workers N`` output is byte-identical to ``--workers 1``" a
+    checkable contract rather than an accident."""
+    return json.dumps(to_jsonable(obj), sort_keys=True)
 
 
 class ReportBase:

@@ -24,6 +24,7 @@ from . import (
     tab02_os_diversity,
 )
 from .context import ExperimentConfig, ExperimentContext, default_context
+from .params import ParamSpec, validate_params
 from .registry import Experiment, all_experiments, register
 from .zfs_consumption import ConsumptionTrajectory, consumption
 
@@ -32,6 +33,8 @@ __all__ = [
     "Experiment",
     "ExperimentConfig",
     "ExperimentContext",
+    "ParamSpec",
+    "validate_params",
     "all_experiments",
     "consumption",
     "default_context",

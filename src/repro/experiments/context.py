@@ -124,11 +124,23 @@ class ExperimentContext:
         self._streams.pop(subject, None)
 
 
-@lru_cache(maxsize=1)
-def default_context() -> ExperimentContext:
-    """Process-wide context honouring REPRO_SCALE / REPRO_QUICK."""
-    denominator = float(os.environ.get("REPRO_SCALE", "32"))
-    quick = int(os.environ.get("REPRO_QUICK", "1"))
+@lru_cache(maxsize=None)
+def _shared_context(denominator: float, quick: int) -> ExperimentContext:
+    """Process-wide context memo, one entry per (scale, quick) pair."""
     return ExperimentContext(
         ExperimentConfig(scale=1.0 / denominator, quick=max(1, quick))
     )
+
+
+def default_context() -> ExperimentContext:
+    """Process-wide context honouring REPRO_SCALE / REPRO_QUICK.
+
+    The environment is re-read on every call and the memo is keyed on the
+    values, so a long-lived process (or a sweep worker) that edits
+    ``REPRO_SCALE``/``REPRO_QUICK`` gets a matching context instead of the
+    one frozen at first call; repeated calls under one environment still
+    share a single dataset.
+    """
+    denominator = float(os.environ.get("REPRO_SCALE", "32"))
+    quick = int(os.environ.get("REPRO_QUICK", "1"))
+    return _shared_context(denominator, quick)

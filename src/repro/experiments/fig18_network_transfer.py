@@ -19,6 +19,7 @@ from ..net import IB_QDR, GBE_1, LinkProfile
 from ..analysis import Series, render_series
 from ..common.report import ReportBase
 from .context import ExperimentContext, default_context
+from .params import ParamSpec
 from .registry import register
 
 __all__ = ["Fig18Result", "run", "render", "NODE_COUNTS", "VMS_PER_NODE"]
@@ -42,7 +43,21 @@ class Fig18Result(ReportBase):
     cache_hit_rate: float
 
 
-@register(EXPERIMENT_ID, "Figure 18: network transfer")
+@register(
+    EXPERIMENT_ID,
+    "Figure 18: network transfer",
+    params=(
+        ParamSpec(
+            "fabric",
+            str,
+            "32GbIB",
+            "interconnect profile",
+            gridable=True,
+            choices=tuple(FABRICS),
+        ),
+    ),
+    metrics=("cache_hit_rate",),
+)
 def run(
     ctx: ExperimentContext | None = None, *, fabric: str = "32GbIB"
 ) -> Fig18Result:

@@ -1,0 +1,142 @@
+"""Typed, declarative experiment parameters.
+
+Each experiment declares its options as a tuple of :class:`ParamSpec`
+entries instead of reaching into an ``argparse.Namespace``: the CLI derives
+its per-experiment flags from the specs, the sweep runner derives its grid
+axes from them, and ``Experiment.run`` only ever sees a **validated** dict
+of keyword arguments. One declaration serves three surfaces:
+
+* ``python -m repro storm --nodes 16`` — the flag, its type, default and
+  help text all come from the spec,
+* ``python -m repro sweep storm --grid "nodes=16,32 seed=0..3"`` — only
+  specs marked ``gridable`` may become sweep axes,
+* ``run(ctx, **params)`` — unknown names and mistyped values are rejected
+  with a :class:`~repro.common.errors.ConfigError` *before* anything runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..common.errors import ConfigError
+
+__all__ = ["ParamSpec", "parse_bool", "validate_params"]
+
+#: spec types a CLI string can be parsed into
+_PARSERS = {int: int, float: float, str: str}
+
+
+def parse_bool(text: str) -> bool:
+    """Parse a CLI/grid boolean token (``true/false``, ``1/0``, ``yes/no``)."""
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ConfigError(f"not a boolean: {text!r}")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declarative experiment parameter.
+
+    ``name`` is the keyword ``run`` receives (``vms_per_node``); the CLI
+    flag (``--vms-per-node``) is derived from it. ``type`` is one of
+    ``int``/``float``/``str``/``bool``. ``gridable`` marks parameters a
+    sweep may fan out over; per-path options like ``trace`` stay
+    point-local. ``choices`` (optional) restricts the accepted values.
+    """
+
+    name: str
+    type: type
+    default: Any = None
+    help: str = ""
+    gridable: bool = False
+    choices: tuple | None = None
+    #: extra validator run on non-None values (raise ConfigError to reject);
+    #: lets e.g. the storm's ``faults`` spec parse-check its plan DSL at
+    #: validation time, before anything has run
+    check: Any = None
+
+    def __post_init__(self) -> None:
+        if self.type not in (int, float, str, bool):
+            raise ConfigError(
+                f"param {self.name!r}: unsupported type {self.type!r}"
+            )
+
+    @property
+    def flag(self) -> str:
+        """The derived CLI flag, e.g. ``vms_per_node`` -> ``--vms-per-node``."""
+        return "--" + self.name.replace("_", "-")
+
+    def parse(self, text: str) -> Any:
+        """Parse one CLI/grid token into this parameter's type."""
+        if self.type is bool:
+            return self.coerce(parse_bool(text))
+        try:
+            return self.coerce(_PARSERS[self.type](text))
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"param {self.name!r}: cannot parse {text!r} as "
+                f"{self.type.__name__}"
+            ) from None
+
+    def coerce(self, value: Any) -> Any:
+        """Type-check/convert an already-parsed value (None stays None)."""
+        if value is None:
+            return None
+        if self.type is bool:
+            if not isinstance(value, bool):
+                raise ConfigError(
+                    f"param {self.name!r}: expected bool, got {value!r}"
+                )
+        elif self.type is int:
+            # bool is an int subclass; reject it explicitly
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(
+                    f"param {self.name!r}: expected int, got {value!r}"
+                )
+        elif self.type is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigError(
+                    f"param {self.name!r}: expected float, got {value!r}"
+                )
+            value = float(value)
+        elif self.type is str:
+            if not isinstance(value, str):
+                raise ConfigError(
+                    f"param {self.name!r}: expected str, got {value!r}"
+                )
+        if self.choices is not None and value not in self.choices:
+            raise ConfigError(
+                f"param {self.name!r}: {value!r} not in "
+                f"{'/'.join(map(str, self.choices))}"
+            )
+        if self.check is not None:
+            self.check(value)
+        return value
+
+
+def validate_params(
+    specs: Sequence[ParamSpec], values: dict, *, where: str = "experiment"
+) -> dict:
+    """Validate raw ``values`` against ``specs``.
+
+    Returns a complete params dict (defaults filled in, every value
+    coerced); raises :class:`ConfigError` on unknown names or bad values.
+    """
+    by_name = {spec.name: spec for spec in specs}
+    unknown = sorted(set(values) - set(by_name))
+    if unknown:
+        known = ", ".join(by_name) or "none"
+        raise ConfigError(
+            f"{where} does not accept parameter(s) "
+            f"{', '.join(map(repr, unknown))} (known: {known})"
+        )
+    validated = {}
+    for name, spec in by_name.items():
+        validated[name] = (
+            spec.coerce(values[name]) if name in values else spec.default
+        )
+    return validated

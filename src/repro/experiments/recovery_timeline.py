@@ -18,9 +18,10 @@ from ..workload import StormConfig, boot_storm
 from .context import ExperimentContext, default_context
 from .registry import register
 from .storm_timeline import (
+    STORM_METRICS,
     StormTimelineResult,
     render as render_storm,
-    storm_config_from_args,
+    storm_params,
 )
 
 __all__ = ["DEFAULT_FAULTS", "run", "render", "EXPERIMENT_ID"]
@@ -31,33 +32,46 @@ EXPERIMENT_ID = "recovery"
 DEFAULT_FAULTS = "crash:compute1@40+45,flap:compute3@20+15"
 
 
-def _options(args) -> dict:
-    return {
-        "config": storm_config_from_args(args, faults_default=DEFAULT_FAULTS),
-        "trace_path": getattr(args, "trace", None),
-    }
-
-
 @register(
     EXPERIMENT_ID,
     "Faulted boot storm: recovery-time percentiles",
-    options=_options,
+    params=storm_params(faults_default=DEFAULT_FAULTS),
+    metrics=STORM_METRICS
+    + (
+        "report.squirrel.recovery.p50",
+        "report.baseline.recovery.p50",
+    ),
 )
 def run(
     ctx: ExperimentContext | None = None,
     *,
+    nodes: int = 64,
+    vms_per_node: int = 8,
+    seed: int = 0,
+    faults: str | None = None,
+    trace: str | None = None,
     config: StormConfig | None = None,
     trace_path: str | None = None,
 ) -> StormTimelineResult:
-    """Run the storm under a fault plan (``DEFAULT_FAULTS`` when the config
-    carries none), sharing the context's dataset memo. ``trace_path`` (CLI
-    ``--trace``) exports both sides' spans as Chrome trace-event JSON."""
-    if config is None or config.faults is None:
-        from ..faults import FaultPlan
+    """Run the storm under a fault plan (``DEFAULT_FAULTS`` when neither
+    ``faults`` nor a ``config`` carrying one is given), sharing the
+    context's dataset memo. The keyword arguments mirror the declared
+    param specs; ``trace`` (CLI ``--trace``; alias ``trace_path``) exports
+    both sides' spans as Chrome trace-event JSON."""
+    trace_path = trace_path or trace
+    if config is None:
+        config = StormConfig.from_params(
+            nodes=nodes,
+            vms_per_node=vms_per_node,
+            seed=seed,
+            faults=faults or DEFAULT_FAULTS,
+        )
+    elif config.faults is None:
         from dataclasses import replace
 
-        base = config or StormConfig()
-        config = replace(base, faults=FaultPlan.parse(DEFAULT_FAULTS))
+        from ..faults import FaultPlan
+
+        config = replace(config, faults=FaultPlan.parse(DEFAULT_FAULTS))
     ctx = ctx or default_context()
     dataset = ctx.dataset_at(config.scale)
     return StormTimelineResult(

@@ -8,8 +8,9 @@ each experiment module decorates its ``run`` function with
     @register("fig02", "Figure 2: dedup + gzip6 ratios")
     def run(ctx=None): ...
 
-and the CLI derives ``python -m repro list``, alias resolution, rendering
-and ``--json`` output entirely from the registry. ``run`` takes the shared
+and the CLI derives ``python -m repro list``, alias resolution, per-
+experiment flags, rendering and ``--json`` output entirely from the
+registry. ``run`` takes the shared
 :class:`~repro.experiments.context.ExperimentContext` (so one dataset and
 one calibration serve a whole ``python -m repro all`` sweep) and returns a
 :class:`~repro.common.report.Report`.
@@ -19,19 +20,24 @@ Optional hooks per entry:
 * ``renderer`` — result -> str; defaults to the ``render`` function of the
   module that registered ``run`` (looked up lazily, so definition order in
   the module does not matter),
-* ``options`` — ``argparse.Namespace -> dict`` of extra keyword arguments
-  for ``run`` (how the storm/recovery scenarios pick up ``--nodes``,
-  ``--seed``, ``--faults`` without the CLI special-casing them),
+* ``params`` — a tuple of :class:`~repro.experiments.params.ParamSpec`
+  entries declaring the experiment's options (how the storm/recovery
+  scenarios pick up ``--nodes``, ``--seed``, ``--faults`` without the CLI
+  special-casing them, and how ``python -m repro sweep`` knows which axes
+  it may grid over),
+* ``metrics`` — dotted paths into the result's ``to_dict()`` payload
+  (``"report.squirrel.latency.p50"``) the sweep summary aggregates,
 * ``aliases`` — alternate ids (``fig15`` -> ``fig14``).
 """
 
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..common.errors import ConfigError
+from .params import ParamSpec, validate_params
 
 __all__ = ["Experiment", "register", "get", "all_experiments", "aliases"]
 
@@ -42,9 +48,10 @@ class Experiment:
 
     exp_id: str
     title: str
-    run: Callable[..., Any]  #: (ctx, **options) -> Report
+    run: Callable[..., Any]  #: (ctx, **params) -> Report
     renderer: Callable[[Any], str] | None = None
-    options: Callable[[Any], dict] | None = None  #: argparse.Namespace -> kwargs
+    params: tuple[ParamSpec, ...] = ()  #: declarative options for ``run``
+    metrics: tuple[str, ...] = ()  #: dotted result paths for sweep summaries
     aliases: tuple[str, ...] = ()
 
     def render(self, result: Any) -> str:
@@ -52,11 +59,30 @@ class Experiment:
         ``render`` function of the module that registered ``run``."""
         renderer = self.renderer
         if renderer is None:
-            renderer = getattr(sys.modules[self.run.__module__], "render")
+            module = self.run.__module__
+            renderer = getattr(sys.modules[module], "render", None)
+            if renderer is None:
+                raise ConfigError(
+                    f"experiment {self.exp_id!r} has no renderer: module "
+                    f"{module!r} defines no render() and register() passed "
+                    "no renderer="
+                )
         return renderer(result)
 
-    def run_kwargs(self, args: Any) -> dict:
-        return self.options(args) if self.options is not None else {}
+    def param(self, name: str) -> ParamSpec:
+        """The spec named ``name``; raises ``ConfigError`` if undeclared."""
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        raise ConfigError(
+            f"experiment {self.exp_id!r} has no parameter {name!r}"
+        )
+
+    def validate(self, values: dict) -> dict:
+        """Validate raw values into the complete params dict ``run`` takes."""
+        return validate_params(
+            self.params, values, where=f"experiment {self.exp_id!r}"
+        )
 
 
 _REGISTRY: dict[str, Experiment] = {}
@@ -69,7 +95,8 @@ def register(
     *,
     aliases: tuple[str, ...] = (),
     renderer: Callable[[Any], str] | None = None,
-    options: Callable[[Any], dict] | None = None,
+    params: tuple[ParamSpec, ...] = (),
+    metrics: tuple[str, ...] = (),
 ) -> Callable:
     """Decorator registering a ``run`` function under ``exp_id``."""
 
@@ -79,12 +106,21 @@ def register(
         for alias in aliases:
             if alias in _REGISTRY or alias in _ALIASES:
                 raise ConfigError(f"experiment alias {alias!r} registered twice")
+        seen: set[str] = set()
+        for spec in params:
+            if spec.name in seen:
+                raise ConfigError(
+                    f"experiment {exp_id!r}: parameter {spec.name!r} "
+                    "declared twice"
+                )
+            seen.add(spec.name)
         _REGISTRY[exp_id] = Experiment(
             exp_id=exp_id,
             title=title,
             run=run,
             renderer=renderer,
-            options=options,
+            params=tuple(params),
+            metrics=tuple(metrics),
             aliases=tuple(aliases),
         )
         for alias in aliases:

@@ -22,22 +22,65 @@ from dataclasses import dataclass
 
 from ..common.report import ReportBase
 from ..common.units import GiB
-from ..faults import FaultPlan
 from ..workload import StormConfig, StormReport, StormSide, boot_storm
 from .context import ExperimentContext, default_context
+from .params import ParamSpec
 from .registry import register
 
 __all__ = [
     "StormTimelineResult",
-    "storm_config_from_args",
+    "storm_params",
     "run",
     "render",
     "render_attribution",
     "render_recovery",
     "EXPERIMENT_ID",
+    "STORM_METRICS",
 ]
 
 EXPERIMENT_ID = "storm"
+
+#: sweep-summary metrics shared by the storm and recovery scenarios
+STORM_METRICS = (
+    "report.squirrel.latency.p50",
+    "report.squirrel.latency.p95",
+    "report.baseline.latency.p50",
+    "report.baseline.latency.p95",
+)
+
+
+def _check_fault_plan(text: str) -> None:
+    """Parse-check a ``--faults`` plan so a typo fails before anything runs."""
+    from ..faults import FaultPlan
+
+    FaultPlan.parse(text)
+
+
+def storm_params(*, faults_default: str | None = None) -> tuple[ParamSpec, ...]:
+    """The storm scenario's declarative parameters (shared with the
+    recovery scenario, which only differs in the fault-plan default)."""
+    return (
+        ParamSpec("nodes", int, 64, "compute nodes", gridable=True),
+        ParamSpec("vms_per_node", int, 8, "VMs per node", gridable=True),
+        ParamSpec("seed", int, 0, "arrival-trace seed", gridable=True),
+        ParamSpec(
+            "faults",
+            str,
+            faults_default,
+            "injected fault plan, comma-separated kind:target@start+duration "
+            "specs, e.g. 'crash:compute1@40+45,flap:compute3@20+15' "
+            "(kinds: crash, flap, brick)",
+            gridable=True,
+            check=_check_fault_plan,
+        ),
+        ParamSpec(
+            "trace",
+            str,
+            None,
+            "write a Chrome trace-event JSON file of every boot's spans to "
+            "this path (open at https://ui.perfetto.dev)",
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -48,40 +91,36 @@ class StormTimelineResult(ReportBase):
     report: StormReport
 
 
-def storm_config_from_args(args, *, faults_default: str | None = None) -> StormConfig:
-    """Build a :class:`StormConfig` from the CLI namespace (shared with the
-    recovery scenario, which only differs in the fault-plan default)."""
-    faults_text = getattr(args, "faults", None) or faults_default
-    return StormConfig(
-        n_nodes=args.nodes,
-        vms_per_node=args.vms_per_node,
-        seed=args.seed,
-        faults=FaultPlan.parse(faults_text) if faults_text else None,
-    )
-
-
-def _options(args) -> dict:
-    return {
-        "config": storm_config_from_args(args),
-        "trace_path": getattr(args, "trace", None),
-    }
-
-
 @register(
-    EXPERIMENT_ID, "Timed boot storm: latency percentiles", options=_options
+    EXPERIMENT_ID,
+    "Timed boot storm: latency percentiles",
+    params=storm_params(),
+    metrics=STORM_METRICS,
 )
 def run(
     ctx: ExperimentContext | None = None,
     *,
+    nodes: int = 64,
+    vms_per_node: int = 8,
+    seed: int = 0,
+    faults: str | None = None,
+    trace: str | None = None,
     config: StormConfig | None = None,
     trace_path: str | None = None,
 ) -> StormTimelineResult:
     """Run the storm. The storm owns its dataset scale (so latencies stay
     calibrated to the paper's 64×8 cluster regardless of ``--scale``) but
     borrows the shared context's dataset memo, so a full sweep synthesises
-    the storm-scale image set once. ``trace_path`` (CLI ``--trace``)
-    exports both sides' spans as Chrome trace-event JSON."""
-    config = config or StormConfig()
+    the storm-scale image set once. The keyword arguments mirror the
+    declared :func:`storm_params`; a programmatic caller may instead pass a
+    ready-made ``config`` (which wins over the individual params).
+    ``trace`` (CLI ``--trace``; alias ``trace_path``) exports both sides'
+    spans as Chrome trace-event JSON."""
+    if config is None:
+        config = StormConfig.from_params(
+            nodes=nodes, vms_per_node=vms_per_node, seed=seed, faults=faults
+        )
+    trace_path = trace_path or trace
     ctx = ctx or default_context()
     dataset = ctx.dataset_at(config.scale)
     return StormTimelineResult(

@@ -1,0 +1,33 @@
+"""Declarative parameter sweeps over registered experiments.
+
+The paper's evaluation *is* a sweep — block sizes × codecs × subjects for
+the figures, node counts × seeds for the boot-storm numbers — and the
+engine is single-threaded by design, so independent runs are
+embarrassingly parallel. This package turns a grid of experiment
+parameters into deterministic work:
+
+* :mod:`.spec` — :class:`SweepSpec` (experiment id + parameter grid),
+  parsed from the ``--grid "nodes=16,32 seed=0..3"`` DSL or a TOML/JSON
+  file, expanded into ordered :class:`SweepPoint` entries with per-point
+  derived seeds,
+* :mod:`.runner` — a ``ProcessPoolExecutor`` runner (workers build their
+  own dataset; the parent ships only picklable params), an ordered merge
+  making ``--workers N`` output byte-identical to ``--workers 1``, and a
+  JSONL manifest that makes interrupted sweeps resumable,
+* :mod:`.summary` — the per-point table + p50/p95-across-seeds renderer
+  behind ``python -m repro sweep``.
+"""
+
+from .runner import SweepResult, load_manifest, run_sweep
+from .spec import SweepPoint, SweepSpec, parse_grid
+from .summary import render_sweep
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "load_manifest",
+    "parse_grid",
+    "render_sweep",
+    "run_sweep",
+]

@@ -1,0 +1,226 @@
+"""Sweep specifications: a parameter grid over one experiment.
+
+A :class:`SweepSpec` names a registered experiment, a grid of values for
+some of its ``gridable`` :class:`~repro.experiments.params.ParamSpec`
+axes, and fixed overrides for the rest. Specs parse from the CLI grid DSL
+
+.. code-block:: text
+
+    nodes=16,32,64 seed=0..4 fabric=32GbIB,1GbE
+
+(whitespace-separated axes; comma-separated values; ``a..b`` is an
+inclusive integer range) or from a TOML/JSON file::
+
+    experiment = "storm"
+    [grid]
+    nodes = [16, 32]
+    seed = [0, 1, 2, 3]
+    [params]
+    vms_per_node = 2
+
+:meth:`SweepSpec.expand` yields the deterministic point list: axes iterate
+in the experiment's parameter-declaration order (not the order they were
+typed), the cartesian product is enumerated row-major, and every point
+gets a collision-free derived seed from :mod:`repro.common.rng` keyed on
+the experiment id and the point's full requested params — so
+``(nodes=16, seed=0)`` and ``(nodes=32, seed=0)`` never share an RNG
+stream by accident.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..common.errors import ConfigError
+from ..common.report import dumps_canonical
+from ..common.rng import SeedSequenceFactory
+from ..experiments import registry
+from ..experiments.params import ParamSpec
+
+__all__ = ["SweepPoint", "SweepSpec", "parse_grid"]
+
+#: the factory every per-point derived seed comes from
+_SEEDS = SeedSequenceFactory("sweep")
+
+
+def _parse_values(spec: ParamSpec, text: str) -> tuple:
+    """Parse one axis' value list (``16,32`` or ``0..4``) via its spec."""
+    values: list = []
+    for token in text.split(","):
+        token = token.strip()
+        if ".." in token and spec.type is int:
+            low_text, _, high_text = token.partition("..")
+            low, high = spec.parse(low_text), spec.parse(high_text)
+            if high < low:
+                raise ConfigError(
+                    f"axis {spec.name!r}: empty range {token!r}"
+                )
+            values.extend(range(low, high + 1))
+        else:
+            values.append(spec.parse(token))
+    return tuple(values)
+
+
+def parse_grid(experiment: str, text: str) -> dict[str, tuple]:
+    """Parse the ``--grid`` DSL into an axis -> values dict.
+
+    Axis names must be declared ``gridable`` by the experiment; values are
+    typed by the matching :class:`ParamSpec`.
+    """
+    exp = registry.get(experiment)
+    grid: dict[str, tuple] = {}
+    for assignment in text.split():
+        name, eq, values_text = assignment.partition("=")
+        if not eq or not values_text:
+            raise ConfigError(
+                f"bad grid axis {assignment!r}: expected name=v1,v2 or "
+                "name=a..b"
+            )
+        spec = exp.param(name)
+        if not spec.gridable:
+            raise ConfigError(
+                f"parameter {name!r} of experiment {experiment!r} is not "
+                "gridable"
+            )
+        if name in grid:
+            raise ConfigError(f"grid axis {name!r} given twice")
+        grid[name] = _parse_values(spec, values_text)
+    if not grid:
+        raise ConfigError("empty grid: give at least one axis")
+    return grid
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded grid point.
+
+    ``requested`` is the complete validated params dict as the grid/fixed
+    values asked for it; ``params`` is what ``run`` actually receives —
+    identical except that a declared ``seed`` parameter is replaced by
+    ``derived_seed``. ``key`` is the canonical-JSON identity used by the
+    resume manifest.
+    """
+
+    index: int
+    experiment: str
+    requested: Mapping[str, Any]
+    params: Mapping[str, Any]
+    key: str
+    derived_seed: int | None
+
+
+class SweepSpec:
+    """An experiment id plus a parameter grid and fixed overrides."""
+
+    def __init__(
+        self,
+        experiment: str,
+        grid: Mapping[str, Sequence],
+        fixed: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.experiment = experiment
+        exp = registry.get(experiment)
+        self.experiment = exp.exp_id  # canonicalise aliases
+        fixed = dict(fixed or {})
+        overlap = sorted(set(grid) & set(fixed))
+        if overlap:
+            raise ConfigError(
+                f"parameter(s) {', '.join(map(repr, overlap))} appear in "
+                "both the grid and the fixed params"
+            )
+        self.grid: dict[str, tuple] = {}
+        for name, values in grid.items():
+            spec = exp.param(name)
+            if not spec.gridable:
+                raise ConfigError(
+                    f"parameter {name!r} of experiment {self.experiment!r} "
+                    "is not gridable"
+                )
+            coerced = tuple(spec.coerce(value) for value in values)
+            if not coerced:
+                raise ConfigError(f"grid axis {name!r} has no values")
+            self.grid[name] = coerced
+        # validate fixed names/values early (defaults are filled per point)
+        exp.validate(fixed)
+        self.fixed = {
+            name: exp.param(name).coerce(value) for name, value in fixed.items()
+        }
+
+    @classmethod
+    def from_grid(
+        cls,
+        experiment: str,
+        grid_text: str,
+        fixed: Mapping[str, Any] | None = None,
+    ) -> "SweepSpec":
+        """Build a spec from the CLI ``--grid`` DSL."""
+        return cls(experiment, parse_grid(experiment, grid_text), fixed)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "SweepSpec":
+        """Load a spec from a TOML (``.toml``) or JSON file.
+
+        Recognised keys: ``experiment`` (required), ``grid`` (table of
+        axis -> value list), ``params`` (fixed overrides), and ``seeds``
+        (sugar for ``grid.seed``).
+        """
+        path = pathlib.Path(path)
+        try:
+            raw_text = path.read_text()
+        except OSError as error:
+            raise ConfigError(f"cannot read sweep spec {path}: {error}") from None
+        if path.suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(raw_text)
+            except tomllib.TOMLDecodeError as error:
+                raise ConfigError(f"bad TOML in {path}: {error}") from None
+        else:
+            try:
+                data = json.loads(raw_text)
+            except json.JSONDecodeError as error:
+                raise ConfigError(f"bad JSON in {path}: {error}") from None
+        if not isinstance(data, dict) or "experiment" not in data:
+            raise ConfigError(f"sweep spec {path} lacks an 'experiment' key")
+        grid = dict(data.get("grid", {}))
+        if "seeds" in data:
+            if "seed" in grid:
+                raise ConfigError(
+                    f"sweep spec {path}: give 'seeds' or grid.seed, not both"
+                )
+            grid["seed"] = list(data["seeds"])
+        return cls(data["experiment"], grid, data.get("params"))
+
+    def expand(self) -> tuple[SweepPoint, ...]:
+        """The deterministic point list (see module docstring)."""
+        exp = registry.get(self.experiment)
+        axes = [spec.name for spec in exp.params if spec.name in self.grid]
+        has_seed = any(spec.name == "seed" for spec in exp.params)
+        points = []
+        for index, combo in enumerate(
+            itertools.product(*(self.grid[axis] for axis in axes))
+        ):
+            requested = exp.validate({**self.fixed, **dict(zip(axes, combo))})
+            key = dumps_canonical(requested)
+            derived_seed = (
+                _SEEDS.seed(self.experiment, key) if has_seed else None
+            )
+            params = dict(requested)
+            if has_seed:
+                params["seed"] = derived_seed
+            points.append(
+                SweepPoint(
+                    index=index,
+                    experiment=self.experiment,
+                    requested=requested,
+                    params=params,
+                    key=key,
+                    derived_seed=derived_seed,
+                )
+            )
+        return tuple(points)

@@ -569,6 +569,25 @@ class StormConfig:
     #: sides of the storm run the identical plan
     faults: FaultPlan | None = None
 
+    @classmethod
+    def from_params(
+        cls,
+        *,
+        nodes: int = 64,
+        vms_per_node: int = 8,
+        seed: int = 0,
+        faults: str | None = None,
+    ) -> "StormConfig":
+        """Build a config from the validated experiment params the CLI and
+        sweep runner hand to the storm/recovery scenarios (``faults`` is
+        the comma-separated plan DSL, parsed here)."""
+        return cls(
+            n_nodes=nodes,
+            vms_per_node=vms_per_node,
+            seed=seed,
+            faults=FaultPlan.parse(faults) if faults else None,
+        )
+
 
 @dataclass(frozen=True)
 class StormSide:
