@@ -15,6 +15,10 @@ Usage::
     python -m repro sweep storm --grid "nodes=16,32 seed=0..3" --workers 4
     python -m repro sweep storm --grid "seed=0..7" --manifest sweep.jsonl
     python -m repro sweep storm --grid "seed=0..7" --resume sweep.jsonl
+    python -m repro storm --metrics runs/storm   # Prometheus + JSONL exports
+    python -m repro metrics runs/storm           # rollups over a stored run
+    python -m repro sweep churn --grid "seed=0..3" --store nightly
+                                         # persist under benchmarks/results/
 
 Experiments come from :mod:`repro.experiments.registry`: importing
 :mod:`repro.experiments` registers every module's ``run`` function, and
@@ -35,6 +39,7 @@ import argparse
 import os
 import sys
 import time
+from pathlib import Path
 
 from .common.errors import ConfigError
 from .common.report import dumps_canonical
@@ -177,9 +182,40 @@ def _run_command(argv: list[str]) -> int:
     return 0
 
 
+def _metrics_command(argv: list[str]) -> int:
+    """``python -m repro metrics PATH``: rollups over stored exports."""
+    from .metrics import render_rollups, summarize_path
+
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="summarise stored metrics exports: peak link "
+        "utilisation, ARC hit-rate curve, DDT RAM high-water, fault impact",
+    )
+    parser.add_argument(
+        "path",
+        help="a run directory written by --metrics DIR, a sweep result "
+        "directory (--store/--out), or a report.json file",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rollups as canonical JSON on stdout",
+    )
+    args = parser.parse_args(argv)
+    try:
+        rollups = summarize_path(args.path)
+    except ConfigError as error:
+        parser.error(str(error))
+    if args.json:
+        print(dumps_canonical(rollups))
+    else:
+        print(render_rollups(rollups), end="")
+    return 0
+
+
 def _sweep_command(argv: list[str]) -> int:
     """``python -m repro sweep <experiment> --grid ... [--workers N]``."""
-    from .sweep import SweepSpec, render_sweep, run_sweep
+    from .sweep import SweepSpec, persist_sweep, render_sweep, run_sweep
 
     parser = argparse.ArgumentParser(
         prog="repro sweep",
@@ -226,6 +262,21 @@ def _sweep_command(argv: list[str]) -> int:
         help="resume from this manifest: completed points are not re-run",
     )
     parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="persist spec.json/report.json/metrics.jsonl (and, unless "
+        "--manifest/--resume names one, the manifest) into this directory; "
+        "relative paths resolve against the spec file's directory",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="NAME",
+        help="shorthand for --out <anchor>/benchmarks/results/NAME, where "
+        "<anchor> is the spec file's directory (or the CWD without --spec)",
+    )
+    parser.add_argument(
         "--scale",
         type=float,
         default=float(os.environ.get("REPRO_SCALE", "32")),
@@ -248,7 +299,34 @@ def _sweep_command(argv: list[str]) -> int:
 
     if args.resume is not None and args.manifest is not None:
         parser.error("--resume already names the manifest; drop --manifest")
+    if args.out is not None and args.store is not None:
+        parser.error("--out and --store are mutually exclusive")
+
+    # every relative path (manifest, resume, out) anchors on the spec
+    # file's directory — a sweep described by a file stores next to that
+    # file no matter where the command runs from; without --spec the
+    # anchor is the CWD, the pre-existing behaviour
+    anchor = (
+        Path(args.spec).resolve().parent
+        if args.spec is not None
+        else Path.cwd()
+    )
+    out_dir: Path | None = None
+    if args.store is not None:
+        out_dir = anchor / "benchmarks" / "results" / args.store
+    elif args.out is not None:
+        out_dir = Path(args.out)
+        if not out_dir.is_absolute():
+            out_dir = anchor / out_dir
     manifest_path = args.resume if args.resume is not None else args.manifest
+    if manifest_path is not None:
+        resolved = Path(manifest_path)
+        if not resolved.is_absolute():
+            resolved = anchor / resolved
+        manifest_path = str(resolved)
+    elif out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        manifest_path = str(out_dir / "manifest.jsonl")
 
     try:
         if args.spec is not None:
@@ -284,6 +362,19 @@ def _sweep_command(argv: list[str]) -> int:
                     f"[{spec.experiment} {label}: {elapsed:.1f}s]", file=sys.stderr
                 )
 
+        header = None
+        if manifest_path is not None and out_dir is not None:
+            # stored sweeps record resolved-path provenance in the manifest
+            # header; bare --manifest files stay one line per point
+            header = {
+                "manifest": manifest_path,
+                "out": str(out_dir),
+                "spec_file": (
+                    str(Path(args.spec).resolve())
+                    if args.spec is not None
+                    else None
+                ),
+            }
         started = time.perf_counter()
         result = run_sweep(
             spec,
@@ -293,8 +384,15 @@ def _sweep_command(argv: list[str]) -> int:
             scale=args.scale,
             quick=max(1, args.quick),
             progress=progress,
+            header=header,
         )
         elapsed = time.perf_counter() - started
+        if out_dir is not None:
+            written = persist_sweep(out_dir, spec, result)
+            print(
+                f"[stored {len(written)} files under {out_dir}]",
+                file=sys.stderr,
+            )
     except ConfigError as error:
         parser.error(str(error))
 
@@ -314,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         return _list_experiments()
     if argv and argv[0] == "sweep":
         return _sweep_command(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _metrics_command(argv[1:])
     return _run_command(argv)
 
 

@@ -7,6 +7,8 @@ populates the registry the CLI dispatches from.
 """
 
 from . import (
+    churn_timeline,
+    day_timeline,
     fig02_compression_ratio,
     fig03_codecs,
     fig04_ccr,
@@ -36,7 +38,9 @@ __all__ = [
     "ParamSpec",
     "validate_params",
     "all_experiments",
+    "churn_timeline",
     "consumption",
+    "day_timeline",
     "default_context",
     "recovery_timeline",
     "register",

@@ -14,6 +14,7 @@ Pass ``--faults`` to replace the default plan, e.g.::
 
 from __future__ import annotations
 
+from ..metrics import write_run_exports
 from ..workload import StormConfig, boot_storm
 from .context import ExperimentContext, default_context
 from .registry import register
@@ -50,15 +51,20 @@ def run(
     seed: int = 0,
     faults: str | None = None,
     trace: str | None = None,
+    metrics: str | None = None,
     config: StormConfig | None = None,
     trace_path: str | None = None,
+    metrics_path: str | None = None,
 ) -> StormTimelineResult:
     """Run the storm under a fault plan (``DEFAULT_FAULTS`` when neither
     ``faults`` nor a ``config`` carrying one is given), sharing the
     context's dataset memo. The keyword arguments mirror the declared
     param specs; ``trace`` (CLI ``--trace``; alias ``trace_path``) exports
-    both sides' spans as Chrome trace-event JSON."""
+    both sides' spans as Chrome trace-event JSON, ``metrics`` (CLI
+    ``--metrics``; alias ``metrics_path``) writes the Prometheus/JSONL/
+    report exports into that directory."""
     trace_path = trace_path or trace
+    metrics_path = metrics_path or metrics
     if config is None:
         config = StormConfig.from_params(
             nodes=nodes,
@@ -74,10 +80,13 @@ def run(
         config = replace(config, faults=FaultPlan.parse(DEFAULT_FAULTS))
     ctx = ctx or default_context()
     dataset = ctx.dataset_at(config.scale)
-    return StormTimelineResult(
+    result = StormTimelineResult(
         config=config,
         report=boot_storm(config, dataset=dataset, trace_path=trace_path),
     )
+    if metrics_path is not None:
+        write_run_exports(metrics_path, result)
+    return result
 
 
 def render(result: StormTimelineResult) -> str:

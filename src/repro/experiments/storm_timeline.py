@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..common.report import ReportBase
 from ..common.units import GiB
+from ..metrics import write_run_exports
 from ..workload import StormConfig, StormReport, StormSide, boot_storm
 from .context import ExperimentContext, default_context
 from .params import ParamSpec
@@ -29,6 +30,7 @@ from .registry import register
 
 __all__ = [
     "StormTimelineResult",
+    "obs_params",
     "storm_params",
     "run",
     "render",
@@ -56,23 +58,11 @@ def _check_fault_plan(text: str) -> None:
     FaultPlan.parse(text)
 
 
-def storm_params(*, faults_default: str | None = None) -> tuple[ParamSpec, ...]:
-    """The storm scenario's declarative parameters (shared with the
-    recovery scenario, which only differs in the fault-plan default)."""
+def obs_params() -> tuple[ParamSpec, ...]:
+    """The observability flags every timed scenario takes: ``--trace``
+    (Chrome trace-event span export) and ``--metrics`` (Prometheus + JSONL
+    + report.json exports into a run directory)."""
     return (
-        ParamSpec("nodes", int, 64, "compute nodes", gridable=True),
-        ParamSpec("vms_per_node", int, 8, "VMs per node", gridable=True),
-        ParamSpec("seed", int, 0, "arrival-trace seed", gridable=True),
-        ParamSpec(
-            "faults",
-            str,
-            faults_default,
-            "injected fault plan, comma-separated kind:target@start+duration "
-            "specs, e.g. 'crash:compute1@40+45,flap:compute3@20+15' "
-            "(kinds: crash, flap, brick)",
-            gridable=True,
-            check=_check_fault_plan,
-        ),
         ParamSpec(
             "trace",
             str,
@@ -80,7 +70,40 @@ def storm_params(*, faults_default: str | None = None) -> tuple[ParamSpec, ...]:
             "write a Chrome trace-event JSON file of every boot's spans to "
             "this path (open at https://ui.perfetto.dev)",
         ),
+        ParamSpec(
+            "metrics",
+            str,
+            None,
+            "write the run's metrics exports (<side>.prom Prometheus text, "
+            "<side>.jsonl sampled series, report.json) into this directory; "
+            "summarise with 'python -m repro metrics <dir>'",
+        ),
     )
+
+
+def fault_param(default: str | None = None) -> ParamSpec:
+    """The ``--faults`` plan parameter shared by every timed scenario."""
+    return ParamSpec(
+        "faults",
+        str,
+        default,
+        "injected fault plan, comma-separated kind:target@start+duration "
+        "specs, e.g. 'crash:compute1@40+45,flap:compute3@20+15' "
+        "(kinds: crash, flap, brick)",
+        gridable=True,
+        check=_check_fault_plan,
+    )
+
+
+def storm_params(*, faults_default: str | None = None) -> tuple[ParamSpec, ...]:
+    """The storm scenario's declarative parameters (shared with the
+    recovery scenario, which only differs in the fault-plan default)."""
+    return (
+        ParamSpec("nodes", int, 64, "compute nodes", gridable=True),
+        ParamSpec("vms_per_node", int, 8, "VMs per node", gridable=True),
+        ParamSpec("seed", int, 0, "arrival-trace seed", gridable=True),
+        fault_param(faults_default),
+    ) + obs_params()
 
 
 @dataclass(frozen=True)
@@ -105,8 +128,10 @@ def run(
     seed: int = 0,
     faults: str | None = None,
     trace: str | None = None,
+    metrics: str | None = None,
     config: StormConfig | None = None,
     trace_path: str | None = None,
+    metrics_path: str | None = None,
 ) -> StormTimelineResult:
     """Run the storm. The storm owns its dataset scale (so latencies stay
     calibrated to the paper's 64×8 cluster regardless of ``--scale``) but
@@ -115,18 +140,24 @@ def run(
     declared :func:`storm_params`; a programmatic caller may instead pass a
     ready-made ``config`` (which wins over the individual params).
     ``trace`` (CLI ``--trace``; alias ``trace_path``) exports both sides'
-    spans as Chrome trace-event JSON."""
+    spans as Chrome trace-event JSON; ``metrics`` (CLI ``--metrics``; alias
+    ``metrics_path``) writes the Prometheus/JSONL/report exports into that
+    directory — export only, the instruments run either way."""
     if config is None:
         config = StormConfig.from_params(
             nodes=nodes, vms_per_node=vms_per_node, seed=seed, faults=faults
         )
     trace_path = trace_path or trace
+    metrics_path = metrics_path or metrics
     ctx = ctx or default_context()
     dataset = ctx.dataset_at(config.scale)
-    return StormTimelineResult(
+    result = StormTimelineResult(
         config=config,
         report=boot_storm(config, dataset=dataset, trace_path=trace_path),
     )
+    if metrics_path is not None:
+        write_run_exports(metrics_path, result)
+    return result
 
 
 def _side_row(label: str, side: StormSide, scale_up: float) -> str:

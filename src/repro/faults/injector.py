@@ -48,6 +48,17 @@ class FaultInjector:
         self._rejoin: dict[str, Event] = {}
         self._validate()
         timed.faults = self
+        # fault telemetry on the rig's registry: the sampler tracks the
+        # down-node count through every outage window, and per-kind counters
+        # record how much of the plan actually fired (overlaps are skipped)
+        self._m_injected = timed.metrics.counter(
+            "faults_injected_total", "Faults fired by kind", labels=("kind",)
+        )
+        for kind in ("brick", "crash", "flap"):
+            self._m_injected.labels(kind=kind)
+        timed.metrics.gauge(
+            "faults_nodes_down", "Compute nodes currently crashed"
+        ).set_function(lambda: float(len(self._rejoin)))
 
     def _validate(self) -> None:
         cluster = self.timed.squirrel.cluster
@@ -93,6 +104,7 @@ class FaultInjector:
             return
         crashed_at = engine.now
         self.timeline.count("node_crashes")
+        self._m_injected.labels(kind="crash").inc()
         span = timed.tracer.span(
             "fault.crash", track=fault.target, node=fault.target,
             duration_s=fault.duration_s,
@@ -129,6 +141,7 @@ class FaultInjector:
             else timed.brick[fault.target]
         )
         self.timeline.count("link_flaps")
+        self._m_injected.labels(kind="flap").inc()
         span = timed.tracer.span(
             "fault.flap", track=fault.target, link=fault.target,
             duration_s=fault.duration_s,
@@ -147,6 +160,7 @@ class FaultInjector:
             self.timeline.count("faults_skipped")
             return
         self.timeline.count("brick_failures")
+        self._m_injected.labels(kind="brick").inc()
         span = timed.tracer.span(
             "fault.brick", track=fault.target, brick=fault.target,
             duration_s=fault.duration_s,

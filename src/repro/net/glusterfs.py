@@ -73,6 +73,10 @@ class GlusterVolume:
         #: names of failed bricks (degraded mode while non-empty)
         self._dead: set[str] = set()
         self._names = {node.name for group in self.groups for node in group}
+        #: running bytes-served tally per brick — O(1) to read, unlike the
+        #: full ledger walk in :meth:`storage_read_load`, so gauges can
+        #: scrape it every sampling tick
+        self._served: dict[str, int] = {name: 0 for name in sorted(self._names)}
 
     # -- fault injection ----------------------------------------------------------
 
@@ -173,12 +177,20 @@ class GlusterVolume:
             chunk = min(end, stripe_end) - position
             node = self.serving_node(position)
             self.ledger.record(node.name, reader, chunk, purpose)
+            self._served[node.name] += chunk
             per_node[node.name] = per_node.get(node.name, 0) + chunk
             nodes[node.name] = node
             moved += chunk
             position += chunk
         plan = [(nodes[name_], per_node[name_]) for name_ in sorted(per_node)]
         return moved, plan
+
+    def served_bytes(self, name: str) -> int:
+        """Running bytes-served tally for one brick (O(1) — the gauge-scrape
+        counterpart of :meth:`storage_read_load`)."""
+        if name not in self._names:
+            raise NetworkError(f"no storage node {name!r}")
+        return self._served[name]
 
     def storage_read_load(self) -> dict[str, int]:
         """Bytes served per storage node (the storage-bottleneck view)."""

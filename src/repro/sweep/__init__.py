@@ -15,11 +15,14 @@ parameters into deterministic work:
   making ``--workers N`` output byte-identical to ``--workers 1``, and a
   JSONL manifest that makes interrupted sweeps resumable,
 * :mod:`.summary` — the per-point table + p50/p95-across-seeds renderer
-  behind ``python -m repro sweep``.
+  behind ``python -m repro sweep``,
+* :mod:`.store` — the persistent result store (``--store NAME``):
+  spec/report/per-point metrics files under ``benchmarks/results/``.
 """
 
 from .runner import SweepResult, load_manifest, run_sweep
 from .spec import SweepPoint, SweepSpec, parse_grid
+from .store import persist_sweep
 from .summary import render_sweep
 
 __all__ = [
@@ -28,6 +31,7 @@ __all__ = [
     "SweepSpec",
     "load_manifest",
     "parse_grid",
+    "persist_sweep",
     "render_sweep",
     "run_sweep",
 ]

@@ -18,7 +18,10 @@ Resume: when given a manifest path the runner appends one canonical-JSON
 line per completed point (``experiment``, ``key``, ``index``, requested
 ``params``, derived ``seed``, ``result``). Re-running with ``resume=True``
 replays completed points from the manifest and executes only the missing
-ones; a line truncated by a mid-write kill is ignored.
+ones; a line truncated by a mid-write kill is ignored. An optional
+``header`` dict is written as a first line carrying ``manifest_version``
+plus provenance (resolved spec/manifest/output paths from the CLI);
+``load_manifest`` recognises and skips it.
 """
 
 from __future__ import annotations
@@ -104,6 +107,8 @@ def load_manifest(path: str, experiment: str) -> dict[str, dict]:
                 f"manifest {path!r} is for experiment "
                 f"{entry.get('experiment')!r}, not {experiment!r}"
             )
+        if "manifest_version" in entry:
+            continue  # provenance header, not a completed point
         completed[entry["key"]] = entry
     return completed
 
@@ -194,6 +199,7 @@ def run_sweep(
     scale: float = 32.0,
     quick: int = 1,
     progress: Callable[[SweepPoint, str, float], None] | None = None,
+    header: dict | None = None,
 ) -> SweepResult:
     """Run every point of ``spec`` and merge the results deterministically.
 
@@ -202,6 +208,10 @@ def run_sweep(
     ``resume=True`` points already in the manifest are not re-run.
     ``scale``/``quick`` configure each worker's private context exactly
     like the CLI's ``--scale``/``--quick`` configure a single run.
+    ``header`` (optional, CLI-provided provenance: resolved spec/manifest/
+    output paths) is written as the manifest's first line, tagged with
+    ``manifest_version`` so :func:`load_manifest` can skip it; without a
+    header the manifest holds exactly one line per completed point.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -226,6 +236,18 @@ def run_sweep(
         # a mid-write kill and drops entries for points no longer in the
         # spec, so the manifest always holds exactly the completed points
         manifest = open(manifest_path, "w", encoding="utf-8")
+        if header is not None:
+            manifest.write(
+                dumps_canonical(
+                    {
+                        "manifest_version": 1,
+                        "experiment": spec.experiment,
+                        **header,
+                    }
+                )
+                + "\n"
+            )
+            manifest.flush()
         for point in replay:
             _append_manifest(manifest, point, results[point.index])
     try:

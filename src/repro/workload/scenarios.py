@@ -58,6 +58,7 @@ from ..core.squirrel import (
 )
 from ..disk import DAS4_RAID0, DiskModel, TimedDisk
 from ..faults import FaultInjector, FaultPlan
+from ..metrics import MetricsRegistry, Sampler, TimeSeriesStore, metrics_block
 from ..net import GBE_1, LinkProfile
 from ..obs import (
     BootAttribution,
@@ -91,6 +92,14 @@ DECOMPRESS_BYTES_PER_S = 250e6
 DISK_SPAN_BYTES = 1 << 40
 #: in-memory ARC budget per compute node (matches the cVolume boot backend)
 ARC_BYTES_PER_NODE = 256 << 20
+#: fixed bucket layout (seconds) shared by every latency histogram family —
+#: declared, never data-derived, so expositions diff cleanly across runs
+LATENCY_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+#: ring capacity of the per-run time-series store (samples per series)
+METRICS_RING = 4096
 
 
 def _disk_offset(size: int, *key) -> int:
@@ -152,6 +161,7 @@ class TimedSquirrel:
         timeline: Timeline,
         *,
         tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
         cpu_cores_per_node: int = 2,
         arc_bytes_per_node: int = ARC_BYTES_PER_NODE,
     ) -> None:
@@ -160,6 +170,7 @@ class TimedSquirrel:
         self.engine = engine
         self.timeline = timeline
         self.tracer = tracer or SpanTracer(engine)
+        self.metrics = metrics or MetricsRegistry()
         #: timed transfers replay the paper-scale byte counts
         self.scale_up = dataset.scaled_up
         cluster = squirrel.cluster
@@ -205,6 +216,209 @@ class TimedSquirrel:
         self._inflight: dict[str, dict[_InflightBoot, None]] = {
             node.name: {} for node in cluster.compute
         }
+        self._instrument()
+
+    def _instrument(self) -> None:
+        """Declare every metric family this rig exports.
+
+        Per-node children are pre-created so the exposition covers the whole
+        fleet (at zero) from the first scrape; callback gauges read live
+        simulation state — ARC geometry, DDT footprint, pipe utilisation —
+        at scrape time without the hot paths pushing updates. Scraping never
+        mutates anything, so metrics cannot perturb byte accounting.
+        """
+        m = self.metrics
+        cluster = self.squirrel.cluster
+        names = [node.name for node in cluster.compute]
+        self._m_boots = m.counter(
+            "squirrel_boots_total", "Completed VM boots", labels=("node",)
+        )
+        self._m_cache_hits = m.counter(
+            "squirrel_boot_cache_hits_total",
+            "Boots served from the node's cVolume cache",
+            labels=("node",),
+        )
+        self._m_cold = m.counter(
+            "squirrel_boot_cold_total",
+            "Boots that streamed their boot set from storage",
+            labels=("node",),
+        )
+        self._m_cold_bytes = m.counter(
+            "squirrel_cold_read_bytes_total",
+            "Paper-scale bytes cold boots pulled over the network",
+            labels=("node",),
+        )
+        self._m_interrupts = m.counter(
+            "squirrel_boot_interrupts_total",
+            "Boot attempts preempted by a fault",
+            labels=("node",),
+        )
+        self._m_registrations = m.counter(
+            "squirrel_registrations_total", "Image registrations completed"
+        )
+        self._m_resyncs = m.counter(
+            "squirrel_resyncs_total",
+            "Offline-propagation catch-ups that moved data",
+            labels=("kind",),
+        )
+        self._m_resync_bytes = m.counter(
+            "squirrel_resync_bytes_total", "Bytes moved by resyncs (scaled units)"
+        )
+        self._m_gc_runs = m.counter(
+            "squirrel_gc_runs_total", "Garbage-collection sweeps"
+        )
+        self._m_gc_victims = m.counter(
+            "squirrel_gc_victims_total", "Snapshots reclaimed by GC"
+        )
+        self._m_arc_hits = m.counter(
+            "zfs_arc_hits_total", "ARC hits by tier", labels=("node", "tier")
+        )
+        self._m_arc_ghosts = m.counter(
+            "zfs_arc_ghost_hits_total",
+            "ARC ghost-list hits by tier",
+            labels=("node", "tier"),
+        )
+        self._m_arc_misses = m.counter(
+            "zfs_arc_misses_total", "ARC misses", labels=("node",)
+        )
+        self._m_arc_evictions = m.counter(
+            "zfs_arc_evictions_total",
+            "ARC evictions by tier",
+            labels=("node", "tier"),
+        )
+        self._m_boot_latency = m.histogram(
+            "squirrel_boot_latency_seconds",
+            "End-to-end boot latency",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_recovery = m.histogram(
+            "squirrel_recovery_seconds",
+            "First fault impact to boot completion",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_register_latency = m.histogram(
+            "squirrel_register_latency_seconds",
+            "Registration latency (boot-once + snapshot + multicast)",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_resync_latency = m.histogram(
+            "squirrel_resync_latency_seconds",
+            "Offline-propagation catch-up latency",
+            buckets=LATENCY_BUCKETS,
+        )
+        for name in names:
+            for family in (
+                self._m_boots, self._m_cache_hits, self._m_cold,
+                self._m_cold_bytes, self._m_interrupts, self._m_arc_misses,
+            ):
+                family.labels(node=name)
+            for tier in ("t1", "t2"):
+                self._m_arc_hits.labels(node=name, tier=tier)
+                self._m_arc_evictions.labels(node=name, tier=tier)
+            for tier in ("b1", "b2"):
+                self._m_arc_ghosts.labels(node=name, tier=tier)
+        arc_p = m.gauge(
+            "zfs_arc_p_bytes",
+            "ARC adaptive target for T1 (paper-scale bytes)",
+            labels=("node",),
+        )
+        arc_resident = m.gauge(
+            "zfs_arc_resident_bytes",
+            "Bytes resident in the node's boot ARC (paper-scale)",
+            labels=("node",),
+        )
+        arc_rate = m.gauge(
+            "zfs_arc_hit_rate", "Lifetime ARC hit rate", labels=("node",)
+        )
+        for name in names:
+            arc = self.arc[name]
+            arc_p.labels(node=name).set_function(lambda a=arc: float(a.p))
+            arc_resident.labels(node=name).set_function(
+                lambda a=arc: float(a.resident_bytes)
+            )
+            arc_rate.labels(node=name).set_function(
+                lambda a=arc: float(a.stats.hit_rate)
+            )
+        ddt_entries = m.gauge(
+            "zfs_ddt_entries", "Dedup-table entries", labels=("node", "tier")
+        )
+        ddt_core = m.gauge(
+            "zfs_ddt_core_bytes", "DDT resident RAM", labels=("node", "tier")
+        )
+        pool_data = m.gauge(
+            "zfs_pool_allocated_bytes",
+            "Pool data bytes allocated after dedup",
+            labels=("node", "tier"),
+        )
+        pools = [(node.name, "compute", node.pool) for node in cluster.compute]
+        pools.append((cluster.storage.pool.name, "storage", cluster.storage.pool))
+        for name, tier, pool in pools:
+            ddt_entries.labels(node=name, tier=tier).set_function(
+                lambda p=pool: float(p.ddt.entry_count)
+            )
+            ddt_core.labels(node=name, tier=tier).set_function(
+                lambda p=pool: float(p.ddt.in_core_bytes)
+            )
+            pool_data.labels(node=name, tier=tier).set_function(
+                lambda p=pool: float(p.data_bytes)
+            )
+        utilization = m.gauge(
+            "net_pipe_utilization",
+            "Lifetime busy fraction of a link",
+            labels=("link", "tier"),
+        )
+        queue_depth = m.gauge(
+            "net_pipe_queue_depth",
+            "Concurrent flows sharing a link",
+            labels=("link", "tier"),
+        )
+        moved_bytes = m.gauge(
+            "net_pipe_moved_bytes",
+            "Lifetime bytes admitted to a link (paper-scale)",
+            labels=("link", "tier"),
+        )
+        for tier, pipes in (("nic", self.nic), ("brick", self.brick)):
+            for name, pipe in pipes.items():
+                utilization.labels(link=name, tier=tier).set_function(
+                    lambda p=pipe: p.busy_fraction()
+                )
+                queue_depth.labels(link=name, tier=tier).set_function(
+                    lambda p=pipe: float(p.active_flows)
+                )
+                moved_bytes.labels(link=name, tier=tier).set_function(
+                    lambda p=pipe: float(p.total_bytes)
+                )
+        gluster = cluster.storage.gluster
+        m.gauge(
+            "net_gluster_degraded",
+            "1 while any brick is out of the read rotation",
+        ).set_function(lambda g=gluster: float(g.degraded))
+        served = m.gauge(
+            "net_brick_served_bytes",
+            "Bytes served by a brick (scaled units)",
+            labels=("node",),
+        )
+        for node in cluster.storage.nodes:
+            served.labels(node=node.name).set_function(
+                lambda g=gluster, n=node.name: float(g.served_bytes(n))
+            )
+        cpu_queue = m.gauge(
+            "sim_cpu_queue_depth",
+            "Boots queued for a decompression core",
+            labels=("node",),
+        )
+        inflight = m.gauge(
+            "squirrel_boots_in_flight",
+            "Boots currently in flight",
+            labels=("node",),
+        )
+        for name in names:
+            cpu_queue.labels(node=name).set_function(
+                lambda r=self.cpu[name]: float(r.queue_length)
+            )
+            inflight.labels(node=name).set_function(
+                lambda b=self._inflight[name]: float(len(b))
+            )
 
     # -- fault-injector queries ----------------------------------------------------
 
@@ -276,16 +490,23 @@ class TimedSquirrel:
                     if first_fail is None:
                         first_fail = engine.now
                     self.timeline.count("boot_interrupts")
+                    self._m_interrupts.labels(node=node_name).inc()
         finally:
             self._inflight[node_name].pop(handle, None)
         self.timeline.count("cache_hits" if cache_hit else "cold_boots")
         self.timeline.observe("boot_latency_s", engine.now - t0)
+        self._m_boots.labels(node=node_name).inc()
+        (self._m_cache_hits if cache_hit else self._m_cold).labels(
+            node=node_name
+        ).inc()
+        self._m_boot_latency.observe(engine.now - t0)
         bt.att.observe(self.timeline)
         bt.root.end(
             cache_hit=cache_hit, interrupts=interrupts, **bt.att.buckets
         )
         if first_fail is not None:
             self.timeline.observe("recovery_s", engine.now - first_fail)
+            self._m_recovery.observe(engine.now - first_fail)
         return engine.now - t0
 
     def _attempt(self, image_id, node_name, force_cold: bool, handle, bt):
@@ -352,6 +573,21 @@ class TimedSquirrel:
         self.timeline.count(
             "arc_evictions", delta["t1_evictions"] + delta["t2_evictions"]
         )
+        self._m_arc_hits.labels(node=node_name, tier="t1").inc(delta["t1_hits"])
+        self._m_arc_hits.labels(node=node_name, tier="t2").inc(delta["t2_hits"])
+        self._m_arc_ghosts.labels(node=node_name, tier="b1").inc(
+            delta["b1_ghost_hits"]
+        )
+        self._m_arc_ghosts.labels(node=node_name, tier="b2").inc(
+            delta["b2_ghost_hits"]
+        )
+        self._m_arc_misses.labels(node=node_name).inc(delta["misses"])
+        self._m_arc_evictions.labels(node=node_name, tier="t1").inc(
+            delta["t1_evictions"]
+        )
+        self._m_arc_evictions.labels(node=node_name, tier="t2").inc(
+            delta["t2_evictions"]
+        )
         self.timeline.gauge(f"arc_p:{node_name}", arc.p)
         self.timeline.gauge(f"arc_resident:{node_name}", arc.resident_bytes)
         # the block-pointer walk + DDT/ZAP lookup for every record of the
@@ -398,6 +634,7 @@ class TimedSquirrel:
         node's NIC, then lands on the local disk (copy-on-read)."""
         gluster = self.squirrel.cluster.storage.gluster
         total = int(self.scale_up(moved))
+        self._m_cold_bytes.labels(node=node_name).inc(total)
         fetch = bt.child(
             "gluster.fetch", n_bytes=total, degraded=gluster.degraded
         )
@@ -466,6 +703,8 @@ class TimedSquirrel:
         span.end(diff_bytes=diff)
         self.timeline.count("registrations")
         self.timeline.observe("register_latency_s", engine.now - t0)
+        self._m_registrations.inc()
+        self._m_register_latency.observe(engine.now - t0)
         return record
 
     def resync(self, node_name: str):
@@ -490,6 +729,10 @@ class TimedSquirrel:
             self.timeline.count(
                 "incremental_resyncs" if incremental else "full_replications"
             )
+            self._m_resyncs.labels(
+                kind="incremental" if incremental else "full"
+            ).inc()
+            self._m_resync_bytes.inc(moved)
             scaled = int(self.scale_up(moved))
             primary = self.squirrel.cluster.storage.primary.name
             yield engine.all_of([
@@ -498,6 +741,7 @@ class TimedSquirrel:
             ])
         span.end(n_bytes=moved, incremental=incremental if moved else None)
         self.timeline.observe("resync_latency_s", engine.now - t0)
+        self._m_resync_latency.observe(engine.now - t0)
         return moved
 
     def collect_garbage(self):
@@ -508,6 +752,8 @@ class TimedSquirrel:
         span.end(victims=len(victims))
         self.timeline.count("gc_runs")
         self.timeline.count("gc_victims", len(victims))
+        self._m_gc_runs.inc()
+        self._m_gc_victims.inc(len(victims))
         return victims
 
     def _sync_clock(self) -> None:
@@ -520,6 +766,29 @@ class TimedSquirrel:
 # -- shared rig construction ----------------------------------------------------------
 
 
+@dataclass
+class _Rig:
+    """One scenario's fully-wired simulation: cluster, engine, telemetry."""
+
+    dataset: AzureCommunityDataset
+    squirrel: Squirrel
+    engine: Engine
+    timeline: Timeline
+    timed: TimedSquirrel
+    metrics: MetricsRegistry
+    store: TimeSeriesStore
+    sampler: Sampler
+
+    def metrics_block(self) -> dict:
+        """The canonical metrics block for this run (embed in the report)."""
+        return metrics_block(
+            self.metrics,
+            self.store,
+            interval_s=self.sampler.interval_s,
+            scrapes=self.sampler.scrapes,
+        )
+
+
 def _build_rig(
     *,
     n_compute: int,
@@ -529,9 +798,10 @@ def _build_rig(
     link: LinkProfile,
     seed,
     trace: bool,
+    metrics_interval_s: float = 5.0,
     dataset: AzureCommunityDataset | None = None,
     estimator=None,
-):
+) -> _Rig:
     dataset = dataset or AzureCommunityDataset(DatasetConfig(scale=scale))
     cluster = IaaSCluster.build(
         n_compute=n_compute, n_storage=n_storage, block_size=block_size, link=link
@@ -542,8 +812,12 @@ def _build_rig(
     squirrel = Squirrel(cluster=cluster, estimator=estimator)
     engine = Engine(seed=seed, trace=trace)
     timeline = Timeline(engine)
-    timed = TimedSquirrel(squirrel, dataset, engine, timeline)
-    return dataset, squirrel, engine, timeline, timed
+    metrics = MetricsRegistry()
+    timed = TimedSquirrel(squirrel, dataset, engine, timeline, metrics=metrics)
+    store = TimeSeriesStore(capacity=METRICS_RING)
+    sampler = Sampler(engine, metrics, store, interval_s=metrics_interval_s)
+    sampler.start()
+    return _Rig(dataset, squirrel, engine, timeline, timed, metrics, store, sampler)
 
 
 # -- boot storm -----------------------------------------------------------------------
@@ -568,6 +842,8 @@ class StormConfig:
     #: injected faults (node crashes, link flaps, brick failures); both
     #: sides of the storm run the identical plan
     faults: FaultPlan | None = None
+    #: gauge-scrape cadence of the metrics sampler (simulated seconds)
+    metrics_interval_s: float = 5.0
 
     @classmethod
     def from_params(
@@ -598,7 +874,9 @@ class StormSide:
     interrupted_boots: int  #: boot attempts preempted by a fault
     delayed_boots: int  #: boots that queued on a crashed host
     compute_ingress_bytes: int
-    horizon_s: float  #: when the last event settled (boots + fault recovery)
+    #: when the engine settled: boots + fault recovery + the sampler's
+    #: final snapshot (so it rounds up to the metrics cadence)
+    horizon_s: float
     latency: HistogramStats
     recovery: HistogramStats  #: per-boot: first fault impact -> completion
     node_recovery: HistogramStats  #: per-crash: crash -> rebooted + resynced
@@ -607,6 +885,8 @@ class StormSide:
     #: per-span-name aggregates from the run's tracer
     spans: dict = field(repr=False)
     summary: dict = field(repr=False)
+    #: canonical metrics block: instrument snapshot + sampled series
+    metrics: dict = field(repr=False)
 
 
 @dataclass(frozen=True)
@@ -647,7 +927,7 @@ def _run_storm_side(
     estimator,
     plan,
 ) -> tuple[StormSide, SpanTracer]:
-    _, squirrel, engine, timeline, timed = _build_rig(
+    rig = _build_rig(
         n_compute=config.n_nodes,
         n_storage=config.n_storage,
         block_size=config.block_size,
@@ -655,8 +935,12 @@ def _run_storm_side(
         link=config.link,
         seed=derive_seed("storm", config.seed, "squirrel" if with_caches else "baseline"),
         trace=config.trace,
+        metrics_interval_s=config.metrics_interval_s,
         dataset=dataset,
         estimator=estimator,
+    )
+    squirrel, engine, timeline, timed = (
+        rig.squirrel, rig.engine, rig.timeline, rig.timed,
     )
     n_images = max(image_id for _, _, image_id in plan) + 1
     gluster = squirrel.cluster.storage.gluster
@@ -694,6 +978,7 @@ def _run_storm_side(
         attribution=attribution_block(timeline),
         spans=timed.tracer.summary(),
         summary=timeline.summary(),
+        metrics=rig.metrics_block(),
     )
     return side, timed.tracer
 
@@ -760,6 +1045,32 @@ class DayConfig:
     link: LinkProfile = GBE_1
     seed: int = 0
     trace: bool = False
+    #: injected faults running alongside the diurnal load
+    faults: FaultPlan | None = None
+    #: gauge-scrape cadence (5 simulated minutes over a 24 h horizon)
+    metrics_interval_s: float = 300.0
+
+    @classmethod
+    def from_params(
+        cls,
+        *,
+        nodes: int = 16,
+        boots: int = 400,
+        tenants: int = 16,
+        registrations: int = 8,
+        seed: int = 0,
+        faults: str | None = None,
+    ) -> "DayConfig":
+        """Build a config from the validated experiment params (the ``day``
+        experiment's CLI/sweep surface; ``faults`` is the plan DSL)."""
+        return cls(
+            n_nodes=nodes,
+            n_boots=boots,
+            n_tenants=tenants,
+            n_new_registrations=registrations,
+            seed=seed,
+            faults=FaultPlan.parse(faults) if faults else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -771,11 +1082,20 @@ class DayReport(ReportBase):
     boot_latency: HistogramStats
     register_latency: HistogramStats
     summary: dict = field(repr=False)
+    #: canonical metrics block: instrument snapshot + sampled series
+    metrics: dict = field(repr=False)
 
 
-def steady_state_day(config: DayConfig = DayConfig()) -> DayReport:
-    """24 simulated hours of diurnal load against one cluster."""
-    dataset, squirrel, engine, timeline, timed = _build_rig(
+def steady_state_day(
+    config: DayConfig = DayConfig(), *, trace_path=None
+) -> DayReport:
+    """24 simulated hours of diurnal load against one cluster.
+
+    With a ``trace_path``, the run's spans are exported there as a Chrome
+    trace-event JSON file; ``config.faults`` runs the day under injected
+    node crashes / link flaps / brick failures.
+    """
+    rig = _build_rig(
         n_compute=config.n_nodes,
         n_storage=config.n_storage,
         block_size=config.block_size,
@@ -783,6 +1103,10 @@ def steady_state_day(config: DayConfig = DayConfig()) -> DayReport:
         link=config.link,
         seed=derive_seed("day", config.seed),
         trace=config.trace,
+        metrics_interval_s=config.metrics_interval_s,
+    )
+    dataset, squirrel, engine, timeline, timed = (
+        rig.dataset, rig.squirrel, rig.engine, rig.timeline, rig.timed,
     )
     catalogue = config.n_initial_images + config.n_new_registrations
     if catalogue > len(dataset.images):
@@ -790,6 +1114,8 @@ def steady_state_day(config: DayConfig = DayConfig()) -> DayReport:
     for spec in dataset.images[: config.n_initial_images]:
         squirrel.register(spec)  # overnight backlog: instant setup
     squirrel.cluster.ledger.clear()
+    if config.faults is not None:
+        FaultInjector(timed, config.faults).start()
 
     rng = rng_stream("workload-day", config.seed)
     boot_times = diurnal_arrivals(
@@ -834,6 +1160,9 @@ def steady_state_day(config: DayConfig = DayConfig()) -> DayReport:
 
     engine.process(nightly_gc())
     engine.run()
+    timed.tracer.close_open_spans()
+    if trace_path is not None:
+        write_chrome_trace(trace_path, {"day": timed.tracer})
     return DayReport(
         boots=int(timeline.counter("boots")),
         cache_hits=int(timeline.counter("cache_hits")),
@@ -844,6 +1173,7 @@ def steady_state_day(config: DayConfig = DayConfig()) -> DayReport:
         boot_latency=timeline.stats("boot_latency_s"),
         register_latency=timeline.stats("register_latency_s"),
         summary=timeline.summary(),
+        metrics=rig.metrics_block(),
     )
 
 
@@ -868,6 +1198,33 @@ class ChurnConfig:
     link: LinkProfile = GBE_1
     seed: int = 0
     trace: bool = False
+    #: injected faults running alongside the churn (on top of the planned
+    #: downtime windows the scenario itself schedules)
+    faults: FaultPlan | None = None
+    #: gauge-scrape cadence (30 simulated minutes over a week-long horizon)
+    metrics_interval_s: float = 1800.0
+
+    @classmethod
+    def from_params(
+        cls,
+        *,
+        nodes: int = 8,
+        days: float = 7.0,
+        registrations_per_day: float = 6.0,
+        downtimes_per_node: float = 2.0,
+        seed: int = 0,
+        faults: str | None = None,
+    ) -> "ChurnConfig":
+        """Build a config from the validated experiment params (the ``churn``
+        experiment's CLI/sweep surface; ``faults`` is the plan DSL)."""
+        return cls(
+            n_nodes=nodes,
+            horizon_days=days,
+            registrations_per_day=registrations_per_day,
+            downtimes_per_node=downtimes_per_node,
+            seed=seed,
+            faults=FaultPlan.parse(faults) if faults else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -880,11 +1237,20 @@ class ChurnReport(ReportBase):
     register_latency: HistogramStats
     resync_latency: HistogramStats
     summary: dict = field(repr=False)
+    #: canonical metrics block: instrument snapshot + sampled series
+    metrics: dict = field(repr=False)
 
 
-def register_churn(config: ChurnConfig = ChurnConfig()) -> ChurnReport:
-    """A week of registrations while nodes come and go."""
-    dataset, squirrel, engine, timeline, timed = _build_rig(
+def register_churn(
+    config: ChurnConfig = ChurnConfig(), *, trace_path=None
+) -> ChurnReport:
+    """A week of registrations while nodes come and go.
+
+    With a ``trace_path``, the run's spans are exported there as a Chrome
+    trace-event JSON file; ``config.faults`` adds injected faults on top of
+    the scenario's own planned downtime windows.
+    """
+    rig = _build_rig(
         n_compute=config.n_nodes,
         n_storage=config.n_storage,
         block_size=config.block_size,
@@ -892,9 +1258,15 @@ def register_churn(config: ChurnConfig = ChurnConfig()) -> ChurnReport:
         link=config.link,
         seed=derive_seed("churn", config.seed),
         trace=config.trace,
+        metrics_interval_s=config.metrics_interval_s,
+    )
+    dataset, squirrel, engine, timeline, timed = (
+        rig.dataset, rig.squirrel, rig.engine, rig.timeline, rig.timed,
     )
     squirrel.gc_window_days = config.gc_window_days
     horizon_s = config.horizon_days * DAY_S
+    if config.faults is not None:
+        FaultInjector(timed, config.faults).start()
     rng = rng_stream("workload-churn", config.seed)
 
     register_times = poisson_arrivals(
@@ -939,6 +1311,9 @@ def register_churn(config: ChurnConfig = ChurnConfig()) -> ChurnReport:
 
     engine.process(daily_gc())
     engine.run()
+    timed.tracer.close_open_spans()
+    if trace_path is not None:
+        write_chrome_trace(trace_path, {"churn": timed.tracer})
     return ChurnReport(
         registrations=int(timeline.counter("registrations")),
         resyncs=int(
@@ -951,4 +1326,5 @@ def register_churn(config: ChurnConfig = ChurnConfig()) -> ChurnReport:
         register_latency=timeline.stats("register_latency_s"),
         resync_latency=timeline.stats("resync_latency_s"),
         summary=timeline.summary(),
+        metrics=rig.metrics_block(),
     )

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.experiments",
+    "repro.metrics",
     "repro.sweep",
 ]
 

@@ -69,7 +69,9 @@ class TestRegistryParams:
     def test_storm_declares_typed_params(self):
         exp = registry.get("storm")
         names = [spec.name for spec in exp.params]
-        assert names == ["nodes", "vms_per_node", "seed", "faults", "trace"]
+        assert names == [
+            "nodes", "vms_per_node", "seed", "faults", "trace", "metrics",
+        ]
         assert exp.param("nodes").gridable
         assert not exp.param("trace").gridable
 
