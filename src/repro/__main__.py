@@ -161,6 +161,17 @@ def _run_command(argv: list[str]) -> int:
             parser.error(str(error))
         plan.append((exp, params))
 
+    # export destinations fail up front too: a bad --metrics dir should not
+    # surface after minutes of simulation
+    from .metrics import ensure_export_dir
+
+    for _exp, params in plan:
+        if params.get("metrics"):
+            try:
+                ensure_export_dir(params["metrics"], flag="--metrics")
+            except ConfigError as error:
+                parser.error(str(error))
+
     ctx = ExperimentContext(
         ExperimentConfig(scale=1.0 / args.scale, quick=max(1, args.quick))
     )
@@ -318,6 +329,15 @@ def _sweep_command(argv: list[str]) -> int:
         out_dir = Path(args.out)
         if not out_dir.is_absolute():
             out_dir = anchor / out_dir
+    if out_dir is not None:
+        # validate the store target before any point runs
+        from .metrics import ensure_export_dir
+
+        flag = "--store" if args.store is not None else "--out"
+        try:
+            ensure_export_dir(out_dir, flag=flag)
+        except ConfigError as error:
+            parser.error(str(error))
     manifest_path = args.resume if args.resume is not None else args.manifest
     if manifest_path is not None:
         resolved = Path(manifest_path)
@@ -325,7 +345,6 @@ def _sweep_command(argv: list[str]) -> int:
             resolved = anchor / resolved
         manifest_path = str(resolved)
     elif out_dir is not None:
-        out_dir.mkdir(parents=True, exist_ok=True)
         manifest_path = str(out_dir / "manifest.jsonl")
 
     try:

@@ -105,6 +105,11 @@ class BootOutcome:
     node: str
     cache_hit: bool
     network_bytes: int  #: bytes this boot moved into the compute node
+    #: where the bytes came from: "cache" (local hit), "peer" (placement
+    #: redirect to a holder node), or "origin" (glusterfs cold read)
+    source: str = "origin"
+    peer: str | None = None  #: holder node that served a peer redirect
+    adopted: bool = False  #: whether the miss promoted this node to holder
 
 
 @dataclass
@@ -121,6 +126,10 @@ class Squirrel:
     _registered: dict[int, ImageSpec] = field(default_factory=dict)
     _snapshot_days: dict[str, float] = field(default_factory=dict)
     registrations: list[RegistrationRecord] = field(default_factory=list)
+    #: optional :class:`~repro.placement.PlacementCoordinator`. ``None`` —
+    #: the default — is the paper baseline: every cache on every node,
+    #: behaviour byte-identical to pre-placement builds.
+    placement: object | None = None
 
     # -- time ----------------------------------------------------------------------
 
@@ -152,15 +161,15 @@ class Squirrel:
         # 2. move the cache from memory into the scVolume
         view = block_view(cache_stream(spec), scvol.record_size)
         psizes = view.psizes(self.estimator)
-        scvol.write_file_virtual(
-            _cache_file_name(spec.image_id),
+        rows = list(
             zip(
                 view.signatures.tolist(),
                 view.lsizes.tolist(),
                 psizes.tolist(),
                 view.is_hole.tolist(),
-            ),
+            )
         )
+        scvol.write_file_virtual(_cache_file_name(spec.image_id), rows)
 
         # 3. snapshot the scVolume for this registration
         self._snap_serial += 1
@@ -169,7 +178,28 @@ class Squirrel:
         scvol.snapshot(snap_name)
         self._snapshot_days[snap_name] = self.clock_days
 
-        # 4. incremental diff to all online compute nodes via multicast
+        # 4. distribute the cache to compute nodes
+        if self.placement is not None:
+            # partial hoarding: the coordinator installs the cache on the
+            # image's assigned holders via the configured transport; no
+            # fleet-wide snapshot diff is shipped.
+            seed = self.placement.seed_image(
+                self.cluster, spec, _cache_file_name(spec.image_id), rows
+            )
+            self._registered[spec.image_id] = spec
+            record = RegistrationRecord(
+                image_id=spec.image_id,
+                snapshot=snap_name,
+                diff_bytes=seed.n_bytes,
+                cache_bytes=spec.cache_bytes,
+                registered_day=self.clock_days,
+                propagation_seconds=seed.duration_s,
+                receivers=seed.n_receivers,
+            )
+            self.registrations.append(record)
+            return record
+
+        # paper baseline: incremental diff to all online nodes via multicast
         stream = generate_send(
             scvol,
             snap_name,
@@ -236,9 +266,35 @@ class Squirrel:
         cache_file = _cache_file_name(image_id)
         if node.online and node.ccvolume.has_file(cache_file):
             return (
-                BootOutcome(image_id, node_name, cache_hit=True, network_bytes=0),
+                BootOutcome(
+                    image_id, node_name, cache_hit=True, network_bytes=0,
+                    source="cache",
+                ),
                 [],
             )
+        if self.placement is not None:
+            # miss on a non-holder: redirect the cold read to the nearest
+            # live peer holder instead of the glusterfs origin. Falls back
+            # to the origin when every holder is down (survivor failover
+            # already tried the others).
+            peer = self.placement.pick_peer(self.cluster, image_id, node_name)
+            if peer is not None:
+                n_bytes = self.placement.payload_bytes(image_id)
+                self.placement.record_redirect(
+                    self.cluster, peer.name, node_name, n_bytes
+                )
+                adopted = node.online and self.placement.maybe_adopt(
+                    self.cluster, image_id, node
+                )
+                return (
+                    BootOutcome(
+                        image_id, node_name, cache_hit=False,
+                        network_bytes=n_bytes, source="peer",
+                        peer=peer.name, adopted=adopted,
+                    ),
+                    [],
+                )
+            self.placement.record_origin_fallback()
         # cold path: QCOW2 cluster-granular reads of the boot set over the net
         vmi_name = f"vmi-{image_id:05d}"
         moved, plan = self.cluster.storage.gluster.read_with_plan(
@@ -246,7 +302,10 @@ class Squirrel:
             purpose="boot-read",
         )
         return (
-            BootOutcome(image_id, node_name, cache_hit=False, network_bytes=moved),
+            BootOutcome(
+                image_id, node_name, cache_hit=False, network_bytes=moved,
+                source="origin",
+            ),
             plan,
         )
 
@@ -259,6 +318,10 @@ class Squirrel:
             raise RegistrationError(f"image {image_id} is not registered")
         scvol = self.cluster.storage.scvolume
         scvol.delete_file(_cache_file_name(image_id))
+        if self.placement is not None:
+            self.placement.drop_image(
+                self.cluster, image_id, _cache_file_name(image_id)
+            )
         del self._registered[image_id]
 
     def collect_garbage(self) -> list[str]:
@@ -299,6 +362,10 @@ class Squirrel:
         """
         node = self.cluster.node(node_name)
         node.online = True
+        if self.placement is not None:
+            # partial hoarding has no snapshot chain to replay: pull exactly
+            # the cache slices the directory assigns this node.
+            return self.placement.reseed_node(self.cluster, node)
         scvol = self.cluster.storage.scvolume
         latest = scvol.latest_snapshot()
         if latest is None:

@@ -20,6 +20,7 @@ from . import (
     fig13_incremental,
     fig18_network_transfer,
     fits,
+    placement_storm,
     recovery_timeline,
     storm_timeline,
     tab01_storage_chain,
@@ -55,6 +56,7 @@ __all__ = [
     "fig13_incremental",
     "fig18_network_transfer",
     "fits",
+    "placement_storm",
     "storm_timeline",
     "tab01_storage_chain",
     "tab02_os_diversity",

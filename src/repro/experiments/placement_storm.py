@@ -1,0 +1,276 @@
+"""Placement storm — partial hoarding vs the paper's full replication.
+
+The paper's Squirrel hoards every cache on every node; at fleet scale that
+is the dominant ingress/disk cost. This experiment runs the timed boot
+storm under a :class:`~repro.placement.PlacementSpec` — ``policy`` decides
+who hoards what (``full`` / ``top_k`` / ``zipf_weighted`` /
+``tenant_affine``), ``transport`` decides how seeds move (``unicast`` /
+``multicast`` / ``swarm``) — and reports the tradeoff frontier: hoarded
+bytes vs hit rate vs peer-redirect traffic vs boot latency.
+
+``policy=full`` runs the unmodified paper baseline (no coordinator is
+attached), so its embedded storm report is byte-identical to the ``storm``
+experiment at the same seed — the regression anchor the tests pin.
+
+Gridable: ``policy × transport × nodes × zipf`` (plus ``seed``, ``top_k``,
+``adopt_budget_mb`` and ``faults``), e.g.::
+
+    python -m repro sweep placement \
+        --grid "policy=full,top_k,zipf_weighted transport=multicast,swarm"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.units import GiB
+from ..common.report import ReportBase
+from ..faults import FaultPlan
+from ..metrics import write_run_exports
+from ..placement import POLICY_NAMES, TRANSPORT_NAMES, PlacementSpec
+from ..workload import StormConfig, StormReport, boot_storm, storm_image_count
+from .context import ExperimentContext, default_context
+from .params import ParamSpec
+from .registry import register
+from .storm_timeline import _side_row, fault_param, obs_params
+
+__all__ = [
+    "EXPERIMENT_ID",
+    "PLACEMENT_METRICS",
+    "PlacementResult",
+    "placement_params",
+    "run",
+    "render",
+]
+
+EXPERIMENT_ID = "placement"
+
+#: sweep-summary metrics: latency next to the hoard/ingress tradeoff
+PLACEMENT_METRICS = (
+    "report.squirrel.latency.p95",
+    "placement.hit_rate",
+    "placement.peer_redirects",
+    "placement.hoarded_bytes",
+    "placement.boot_ingress_bytes",
+)
+
+MiB = 1 << 20
+
+
+def placement_params() -> tuple[ParamSpec, ...]:
+    """The placement experiment's declarative parameters."""
+    return (
+        ParamSpec(
+            "policy", str, "full",
+            "placement policy: full (paper baseline), top_k, zipf_weighted "
+            "or tenant_affine",
+            gridable=True, choices=POLICY_NAMES,
+        ),
+        ParamSpec(
+            "transport", str, "multicast",
+            "seeding transport: unicast, multicast or swarm "
+            "(ignored by policy=full, which uses the paper's snapshot "
+            "multicast)",
+            gridable=True, choices=TRANSPORT_NAMES,
+        ),
+        ParamSpec("nodes", int, 16, "compute nodes", gridable=True),
+        ParamSpec("vms_per_node", int, 4, "VMs per node", gridable=True),
+        ParamSpec("seed", int, 0, "arrival-trace seed", gridable=True),
+        ParamSpec(
+            "zipf", float, 0.9,
+            "image-popularity Zipf exponent of the tenant workload "
+            "(higher = more skew, fewer images carry the traffic)",
+            gridable=True,
+        ),
+        ParamSpec(
+            "top_k", int, 8,
+            "images hoarded fleet-wide by policy=top_k",
+            gridable=True,
+        ),
+        ParamSpec(
+            "replicas", int, 2,
+            "replica floor: minimum holders per image under partial "
+            "policies",
+            gridable=True,
+        ),
+        ParamSpec(
+            "adopt_budget_mb", int, 0,
+            "per-node promote-on-miss budget in MiB of (scaled) cache "
+            "bytes; 0 disables adoption",
+            gridable=True,
+        ),
+        fault_param(),
+    ) + obs_params()
+
+
+@dataclass(frozen=True)
+class PlacementResult(ReportBase):
+    """One placement storm: config, placement spec, tallies, full report."""
+
+    config: StormConfig
+    spec: dict  #: the PlacementSpec that was requested (plain types)
+    placement: dict  #: placement tally block (see _placement_block)
+    report: StormReport
+
+
+def _full_baseline_tallies(dataset, config: StormConfig, n_images: int) -> dict:
+    """The coordinator-shaped tally block ``policy=full`` implies.
+
+    Full replication runs without a coordinator (that is what keeps its
+    report byte-identical to the storm baseline), so its hoard/seed figures
+    are derived analytically: every node holds every cache, seeding ingests
+    one cache per node per image, and no boot is ever redirected.
+    """
+    cache_total = sum(
+        spec.cache_bytes for spec in dataset.images[:n_images]
+    )
+    return {
+        "adopted_bytes": 0,
+        "adoptions": 0,
+        "hoarded_bytes": cache_total * config.n_nodes,
+        "hoarded_replicas": n_images * config.n_nodes,
+        "images_tracked": n_images,
+        "origin_fallbacks": 0,
+        "peer_redirects": 0,
+        "policy": "full",
+        "redirect_bytes": 0,
+        "reseed_bytes": 0,
+        "seed_duration_s": 0.0,
+        "seed_origin_bytes": cache_total,
+        "seed_peer_upload_bytes": 0,
+        "seed_receiver_bytes": cache_total * config.n_nodes,
+        "seed_rounds": n_images,
+        "transport": "multicast",
+    }
+
+
+def _placement_block(tallies: dict, dataset, config: StormConfig,
+                     n_images: int, report: StormReport) -> dict:
+    """The report's ``placement`` block: tallies + derived tradeoff axes."""
+    cache_total = sum(
+        spec.cache_bytes for spec in dataset.images[:n_images]
+    )
+    full_hoarded = cache_total * config.n_nodes
+    side = report.squirrel
+    block = dict(tallies)
+    block["full_hoarded_bytes"] = full_hoarded
+    block["hoarded_fraction"] = (
+        block["hoarded_bytes"] / full_hoarded if full_hoarded else 0.0
+    )
+    block["hit_rate"] = side.cache_hits / side.boots if side.boots else 0.0
+    block["boot_origin_bytes"] = side.compute_ingress_bytes
+    block["boot_ingress_bytes"] = (
+        side.compute_ingress_bytes + block["redirect_bytes"]
+    )
+    return block
+
+
+@register(
+    EXPERIMENT_ID,
+    "Partial hoarding: placement policies vs full replication",
+    params=placement_params(),
+    metrics=PLACEMENT_METRICS,
+)
+def run(
+    ctx: ExperimentContext | None = None,
+    *,
+    policy: str = "full",
+    transport: str = "multicast",
+    nodes: int = 16,
+    vms_per_node: int = 4,
+    seed: int = 0,
+    zipf: float = 0.9,
+    top_k: int = 8,
+    replicas: int = 2,
+    adopt_budget_mb: int = 0,
+    faults: str | None = None,
+    trace: str | None = None,
+    metrics: str | None = None,
+) -> PlacementResult:
+    """Run the boot storm under one placement policy.
+
+    ``policy=full`` attaches no coordinator — the run *is* the paper
+    baseline, and the embedded ``report`` matches the ``storm``
+    experiment's byte-for-byte at equal (nodes, vms_per_node, seed).
+    Partial policies attach a :class:`~repro.placement.PlacementSpec` and
+    surface the coordinator's tallies in the ``placement`` block. ``zipf``
+    shapes the tenant workload's popularity skew (both the arrival trace
+    and the declared popularity the policies place by).
+    """
+    config = StormConfig(
+        n_nodes=nodes,
+        vms_per_node=vms_per_node,
+        seed=seed,
+        zipf_exponent=zipf,
+        faults=FaultPlan.parse(faults) if faults else None,
+    )
+    spec = PlacementSpec(
+        policy=policy,
+        transport=transport,
+        top_k=top_k,
+        replica_floor=replicas,
+        adopt_budget_bytes=adopt_budget_mb * MiB,
+    )
+    ctx = ctx or default_context()
+    dataset = ctx.dataset_at(config.scale)
+    n_images = storm_image_count(config, dataset)
+    sink: list = []
+    report = boot_storm(
+        config,
+        dataset=dataset,
+        trace_path=trace,
+        placement=spec if policy != "full" else None,
+        placement_sink=sink.append,
+    )
+    tallies = (
+        sink[0].stats()
+        if sink
+        else _full_baseline_tallies(dataset, config, n_images)
+    )
+    result = PlacementResult(
+        config=config,
+        spec=spec.to_dict(),
+        placement=_placement_block(
+            tallies, dataset, config, n_images, report
+        ),
+        report=report,
+    )
+    if metrics is not None:
+        write_run_exports(metrics, result)
+    return result
+
+
+def render(result: PlacementResult) -> str:
+    """Frontier table: hoarded bytes vs hit rate vs ingress vs latency."""
+    config, block, report = result.config, result.placement, result.report
+    scale_up = 1.0 / config.scale
+    to_gb = scale_up / GiB
+    lines = [
+        f"Placement storm: policy={block['policy']} "
+        f"transport={block['transport']}, {config.n_nodes} nodes x "
+        f"{config.vms_per_node} VMs/node, zipf {config.zipf_exponent}, "
+        f"seed {config.seed}",
+        f"{'side':<12} {'boots':>5} {'hits':>5} {'ingress GB':>11} "
+        f"{'p50 s':>9} {'p95 s':>9} {'p99 s':>9} {'done s':>9}",
+        _side_row("w/ caches", report.squirrel, scale_up),
+        _side_row("w/o caches", report.baseline, scale_up),
+        "",
+        f"hit rate {100 * block['hit_rate']:.1f}% | "
+        f"peer redirects {block['peer_redirects']} "
+        f"({block['redirect_bytes'] * to_gb:.2f} GB) | "
+        f"origin fallbacks {block['origin_fallbacks']} | "
+        f"adoptions {block['adoptions']}",
+        "",
+        "hoard/ingress frontier (paper-scale GB):",
+        f"{'policy':<14} {'hoarded':>9} {'of full %':>9} {'seeded':>9} "
+        f"{'boot net':>9} {'p95 s':>7}",
+        f"{block['policy']:<14} {block['hoarded_bytes'] * to_gb:>9.1f} "
+        f"{100 * block['hoarded_fraction']:>9.1f} "
+        f"{block['seed_receiver_bytes'] * to_gb:>9.1f} "
+        f"{block['boot_ingress_bytes'] * to_gb:>9.1f} "
+        f"{report.squirrel.latency.p95:>7.2f}",
+        f"{'full (ref)':<14} {block['full_hoarded_bytes'] * to_gb:>9.1f} "
+        f"{100.0:>9.1f} {block['full_hoarded_bytes'] * to_gb:>9.1f} "
+        f"{0.0:>9.1f} {'-':>7}",
+    ]
+    return "\n".join(lines)

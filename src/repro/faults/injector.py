@@ -121,6 +121,11 @@ class FaultInjector:
         for boot in timed.inflight(fault.target):
             boot.process.interrupt("node-crash")
             preempted += 1
+        # placement redirects streaming *from* this host die with it too;
+        # their retry re-picks a surviving holder from the directory
+        for boot in timed.inflight_from_peer(fault.target):
+            boot.process.interrupt("peer-crash")
+            preempted += 1
         yield engine.timeout(fault.duration_s)
         timed.nic[fault.target].unblock()
         # reboot done; catch up on everything registered while away (replays

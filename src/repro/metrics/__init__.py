@@ -24,6 +24,7 @@ sweep at any ``--workers`` count) emit byte-identical exports.
 
 from .export import (
     collect_metric_blocks,
+    ensure_export_dir,
     export_name,
     metrics_block,
     prometheus_text,
@@ -51,6 +52,7 @@ __all__ = [
     "Sampler",
     "TimeSeriesStore",
     "collect_metric_blocks",
+    "ensure_export_dir",
     "export_name",
     "format_number",
     "metrics_block",

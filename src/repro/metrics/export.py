@@ -16,20 +16,46 @@ through :func:`repro.common.report.dumps_canonical`.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any
 
+from ..common.errors import ConfigError
 from ..common.report import dumps_canonical, to_jsonable
 from .instruments import MetricsRegistry, format_number
 from .store import TimeSeriesStore
 
 __all__ = [
     "collect_metric_blocks",
+    "ensure_export_dir",
     "metrics_block",
     "prometheus_text",
     "series_jsonl",
     "write_run_exports",
 ]
+
+
+def ensure_export_dir(path: str | Path, *, flag: str) -> Path:
+    """Validate an export directory named by CLI ``flag`` *before* a run.
+
+    Creates the directory (parents included) and checks writability, so a
+    bad ``--metrics``/``--store``/``--out`` target fails up front with a
+    :class:`~repro.common.errors.ConfigError` naming the flag — not after
+    minutes of simulation when the exporter first touches the path.
+    """
+    target = Path(path)
+    try:
+        target.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise ConfigError(
+            f"{flag} {str(target)!r}: cannot create export directory "
+            f"({error})"
+        ) from error
+    if not os.access(target, os.W_OK):
+        raise ConfigError(
+            f"{flag} {str(target)!r}: export directory is not writable"
+        )
+    return target
 
 
 def metrics_block(

@@ -77,6 +77,11 @@ class GlusterVolume:
         #: full ledger walk in :meth:`storage_read_load`, so gauges can
         #: scrape it every sampling tick
         self._served: dict[str, int] = {name: 0 for name in sorted(self._names)}
+        #: purposes that have flowed through the brick read path; the
+        #: served-bytes verifier filters the ledger to exactly these, so
+        #: storage-sourced traffic that bypasses the bricks (snapshot
+        #: multicast, placement seeding) never counts as brick service
+        self._read_purposes: set[str] = set()
 
     # -- fault injection ----------------------------------------------------------
 
@@ -170,6 +175,7 @@ class GlusterVolume:
         moved = 0
         position = offset
         end = offset + length
+        self._read_purposes.add(purpose)
         per_node: dict[str, int] = {}
         nodes: dict[str, Node] = {}
         while position < end:
@@ -199,3 +205,37 @@ class GlusterVolume:
             for node in group:
                 load[node.name] = self.ledger.bytes_out_of(node.name)
         return load
+
+    def verify_served_accounting(self) -> dict[str, int]:
+        """Cross-check the O(1) served tallies against the ledger.
+
+        Recomputes each brick's service bytes from the ledger records the
+        read path actually produced — transfers sourced at a brick under a
+        purpose that has flowed through :meth:`read_with_plan` — and raises
+        :class:`~repro.common.errors.NetworkError` on any divergence. This
+        pins two invariants at once: degraded reads re-route a dead brick's
+        ranges onto its group's survivors exactly once (no loss, no double
+        count), and storage-sourced traffic that bypasses the bricks
+        (snapshot multicast, placement seeding) or never touches them
+        (compute-to-compute peer redirects) cannot inflate a brick tally.
+        Only meaningful while the ledger covers the volume's whole history
+        (i.e. it has not been cleared since construction).
+        """
+        computed = {name: 0 for name in sorted(self._names)}
+        for transfer in self.ledger.transfers:
+            if (
+                transfer.src in self._names
+                and transfer.purpose in self._read_purposes
+            ):
+                computed[transfer.src] += transfer.n_bytes
+        if computed != self._served:
+            drift = {
+                name: (self._served[name], computed[name])
+                for name in sorted(self._names)
+                if self._served[name] != computed[name]
+            }
+            raise NetworkError(
+                "served-bytes tallies diverge from the ledger "
+                f"(tally, ledger): {drift}"
+            )
+        return computed

@@ -1,0 +1,211 @@
+"""Placement policies: which compute nodes hoard which image's cache.
+
+The paper's Squirrel hoards every cache on every node (``full``). The
+policies here trade hit rate for hoarded bytes:
+
+* ``full`` — every node holds every cache (paper baseline).
+* ``top_k`` — the K most popular images are hoarded fleet-wide; the long
+  tail keeps only a floor of R scattered replicas.
+* ``zipf_weighted`` — per-image replica count proportional to declared
+  popularity (relative to the hottest image), floored at R.
+* ``tenant_affine`` — each image lives on its owning tenant's affinity
+  node set, sized by the tenant's request weight and floored at R.
+
+Every choice is deterministic under :func:`repro.common.rng.stream`, keyed
+on ``("placement", policy, image, fleet)`` — re-running a scenario with the
+same seed reproduces the same hoard map bit-for-bit, which is what keeps
+sweep merges byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from ..common.rng import stream as rng_stream
+
+__all__ = [
+    "PlacementContext",
+    "PlacementPolicy",
+    "FullPolicy",
+    "TopKPolicy",
+    "ZipfWeightedPolicy",
+    "TenantAffinePolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+#: registry order also drives CLI ``choices`` for the ``policy`` parameter
+POLICY_NAMES = ("full", "top_k", "zipf_weighted", "tenant_affine")
+
+
+@dataclass(frozen=True)
+class PlacementContext:
+    """Everything a policy may look at when assigning holders.
+
+    ``popularity`` is a pmf over image ids (catalogue order). ``owners``
+    maps image id → owning tenant id and ``tenant_weights`` tenant id →
+    request share; both may be empty for policies that don't use tenancy.
+    """
+
+    nodes: tuple[str, ...]  #: compute node names, cluster order
+    popularity: tuple[float, ...]
+    owners: tuple[int, ...] = ()
+    tenant_weights: tuple[float, ...] = ()
+
+    @property
+    def n_images(self) -> int:
+        """Catalogue size the context was built for."""
+        return len(self.popularity)
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """Assigns every catalogue image its set of hoarding nodes."""
+
+    name: str
+
+    def place(self, ctx: PlacementContext) -> dict[int, tuple[str, ...]]:
+        """Return image id → holder node names for the whole catalogue."""
+        ...
+
+
+def _check_floor(floor: int) -> int:
+    if floor < 1:
+        raise ConfigError("replica floor must be at least 1")
+    return floor
+
+
+def _scatter(
+    policy_name: str, image_id: int, nodes: tuple[str, ...], n_replicas: int
+) -> tuple[str, ...]:
+    """Pick ``n_replicas`` distinct nodes, keyed on (policy, image, fleet)."""
+    n_replicas = min(n_replicas, len(nodes))
+    if n_replicas == len(nodes):
+        return nodes
+    rng = rng_stream("placement", policy_name, image_id, len(nodes))
+    picked = rng.choice(len(nodes), size=n_replicas, replace=False)
+    return tuple(nodes[i] for i in sorted(int(i) for i in picked))
+
+
+@dataclass(frozen=True)
+class FullPolicy:
+    """Paper baseline: every online node hoards every cache."""
+
+    name: str = "full"
+
+    def place(self, ctx: PlacementContext) -> dict[int, tuple[str, ...]]:
+        """Every image is held by every node."""
+        return {image_id: ctx.nodes for image_id in range(ctx.n_images)}
+
+
+@dataclass(frozen=True)
+class TopKPolicy:
+    """Hoard the K most popular images fleet-wide; tail gets the floor.
+
+    Ties in popularity break toward the lower image id (stable argsort on
+    descending popularity), so membership of the top-K set is deterministic.
+    """
+
+    top_k: int = 8
+    replica_floor: int = 2
+    name: str = "top_k"
+
+    def place(self, ctx: PlacementContext) -> dict[int, tuple[str, ...]]:
+        """Top-K images → all nodes; others → ``replica_floor`` scattered."""
+        if self.top_k < 0:
+            raise ConfigError("top_k must be non-negative")
+        floor = _check_floor(self.replica_floor)
+        popularity = np.asarray(ctx.popularity, dtype=np.float64)
+        order = np.argsort(-popularity, kind="stable")
+        hot = set(int(i) for i in order[: self.top_k])
+        placement: dict[int, tuple[str, ...]] = {}
+        for image_id in range(ctx.n_images):
+            if image_id in hot:
+                placement[image_id] = ctx.nodes
+            else:
+                placement[image_id] = _scatter(
+                    self.name, image_id, ctx.nodes, floor
+                )
+        return placement
+
+
+@dataclass(frozen=True)
+class ZipfWeightedPolicy:
+    """Replica count proportional to popularity, floored at R.
+
+    The hottest image gets a full-fleet replica set; an image half as
+    popular gets half the nodes, never fewer than ``replica_floor``.
+    """
+
+    replica_floor: int = 2
+    name: str = "zipf_weighted"
+
+    def place(self, ctx: PlacementContext) -> dict[int, tuple[str, ...]]:
+        """Scale each image's replica count by popularity / max popularity."""
+        floor = _check_floor(self.replica_floor)
+        popularity = np.asarray(ctx.popularity, dtype=np.float64)
+        peak = float(popularity.max()) if popularity.size else 0.0
+        n_nodes = len(ctx.nodes)
+        placement: dict[int, tuple[str, ...]] = {}
+        for image_id in range(ctx.n_images):
+            share = popularity[image_id] / peak if peak > 0 else 0.0
+            replicas = max(floor, math.ceil(share * n_nodes))
+            placement[image_id] = _scatter(
+                self.name, image_id, ctx.nodes, replicas
+            )
+        return placement
+
+
+@dataclass(frozen=True)
+class TenantAffinePolicy:
+    """Hoard each image on its owning tenant's affinity node set.
+
+    A tenant's affinity set is sized by its request weight (a tenant that
+    generates a third of the arrivals gets about a third of the fleet),
+    floored at R, and is shared by all images the tenant owns — that
+    co-location is the point: the tenant's own boots hit locally.
+    """
+
+    replica_floor: int = 2
+    name: str = "tenant_affine"
+
+    def place(self, ctx: PlacementContext) -> dict[int, tuple[str, ...]]:
+        """Images map to their owner tenant's deterministic node set."""
+        floor = _check_floor(self.replica_floor)
+        if len(ctx.owners) != ctx.n_images or not ctx.tenant_weights:
+            raise ConfigError(
+                "tenant_affine needs owners and tenant_weights in the context"
+            )
+        n_nodes = len(ctx.nodes)
+        affinity: dict[int, tuple[str, ...]] = {}
+        for tenant_id, weight in enumerate(ctx.tenant_weights):
+            size = max(floor, math.ceil(float(weight) * n_nodes))
+            affinity[tenant_id] = _scatter(
+                f"{self.name}-t{tenant_id}", tenant_id, ctx.nodes, size
+            )
+        return {
+            image_id: affinity[ctx.owners[image_id]]
+            for image_id in range(ctx.n_images)
+        }
+
+
+def make_policy(
+    name: str, *, top_k: int = 8, replica_floor: int = 2
+) -> PlacementPolicy:
+    """Build a policy by CLI name, applying only the knobs it understands."""
+    if name == "full":
+        return FullPolicy()
+    if name == "top_k":
+        return TopKPolicy(top_k=top_k, replica_floor=replica_floor)
+    if name == "zipf_weighted":
+        return ZipfWeightedPolicy(replica_floor=replica_floor)
+    if name == "tenant_affine":
+        return TenantAffinePolicy(replica_floor=replica_floor)
+    raise ConfigError(
+        f"unknown placement policy {name!r}; choose from {', '.join(POLICY_NAMES)}"
+    )

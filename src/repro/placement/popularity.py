@@ -1,0 +1,62 @@
+"""Image-popularity models that feed placement policies.
+
+Full replication (the paper's baseline) never needs to know which images
+are hot. Partial hoarding does: the policies in :mod:`repro.placement.policy`
+rank the catalogue by expected request share and spend replicas where the
+probability mass is. Two sources are supported:
+
+* **Declared** — the exact pmf implied by a
+  :class:`~repro.workload.tenants.TenantPopulation` (weighted mixture of
+  per-tenant Zipf preferences), via :func:`fleet_popularity`. This is what
+  the storm scenarios use; it keeps placement deterministic per seed with no
+  sampling noise.
+* **Observed** — empirical request counts normalised by
+  :func:`observed_popularity`, for callers that replay a trace instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ConfigError
+
+__all__ = ["zipf_weights", "observed_popularity", "fleet_popularity"]
+
+
+def zipf_weights(n_images: int, exponent: float) -> np.ndarray:
+    """Zipf(``exponent``) pmf over ``n_images`` ranks (rank 0 hottest)."""
+    if n_images < 1:
+        raise ConfigError("need at least one image")
+    if exponent < 0:
+        raise ConfigError("zipf exponent must be non-negative")
+    ranks = np.arange(1, n_images + 1, dtype=np.float64)
+    raw = 1.0 / ranks**exponent
+    return raw / raw.sum()
+
+
+def observed_popularity(counts) -> np.ndarray:
+    """Normalise empirical request counts into a pmf.
+
+    All-zero counts degrade to uniform popularity rather than NaN, so a
+    policy built before any traffic still places something sensible.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError("counts must be a non-empty 1-D sequence")
+    if np.any(arr < 0):
+        raise ConfigError("counts must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        return np.full(arr.size, 1.0 / arr.size)
+    return arr / total
+
+
+def fleet_popularity(population) -> np.ndarray:
+    """Declared per-image popularity of a tenant population.
+
+    Thin veneer over
+    :meth:`~repro.workload.tenants.TenantPopulation.expected_popularity`,
+    kept here so placement code depends on the popularity *shape* rather
+    than the workload package.
+    """
+    return np.asarray(population.expected_popularity(), dtype=np.float64)

@@ -1,0 +1,98 @@
+"""Seeding transports: how a cache slice reaches its holder set.
+
+Registration (and adoption re-seeding) must move the cache to every
+assigned holder. Three transports are modelled, reusing the
+:mod:`repro.net` primitives so ledger accounting and durations match the
+rest of the simulator:
+
+* ``unicast`` — the origin sends each holder its own copy
+  (:func:`repro.net.multicast.unicast_fanout`); the origin uplink
+  serialises the copies.
+* ``multicast`` — one transmission, every holder listens
+  (:func:`repro.net.multicast.multicast`); runs at the slowest member's
+  rate plus a small retransmit overhead.
+* ``swarm`` — BitTorrent-style
+  (:func:`repro.net.p2p.swarm_distribute`); the origin seeds ~``1+log2 n``
+  copies and peers exchange the rest.
+
+All three record ledger entries under :data:`SEED_PURPOSE`, distinct from
+boot reads and peer redirects, so nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+from ..net import multicast, swarm_distribute, unicast_fanout
+
+__all__ = [
+    "SeedResult",
+    "TRANSPORT_NAMES",
+    "SEED_PURPOSE",
+    "PEER_REDIRECT_PURPOSE",
+    "seed_transfer",
+]
+
+#: registry order also drives CLI ``choices`` for the ``transport`` parameter
+TRANSPORT_NAMES = ("unicast", "multicast", "swarm")
+
+#: ledger purpose of placement seeding (registration, adoption, reseed)
+SEED_PURPOSE = "placement-seed"
+#: ledger purpose of a boot redirected to a peer holder
+PEER_REDIRECT_PURPOSE = "peer-redirect"
+
+
+@dataclass(frozen=True)
+class SeedResult:
+    """Normalised outcome of one seeding round, whatever the transport."""
+
+    transport: str
+    n_bytes: int  #: payload size (per receiver ingress)
+    n_receivers: int
+    duration_s: float
+    origin_bytes: int  #: bytes that crossed the origin's uplink
+    peer_upload_bytes: int  #: bytes sourced peer-to-peer (swarm only)
+
+    @property
+    def receiver_bytes(self) -> int:
+        """Total ingress across all receivers."""
+        return self.n_bytes * self.n_receivers
+
+
+def seed_transfer(
+    transport: str, ledger, origin, receivers, n_bytes: int
+) -> SeedResult:
+    """Move ``n_bytes`` from ``origin`` to ``receivers`` via ``transport``.
+
+    ``origin``/``receivers`` are topology :class:`~repro.net.topology.Node`
+    objects; ledger entries are recorded under :data:`SEED_PURPOSE`.
+    """
+    if transport == "unicast":
+        result = unicast_fanout(
+            ledger, origin, receivers, n_bytes, purpose=SEED_PURPOSE
+        )
+        return SeedResult(
+            transport, n_bytes, result.n_receivers, result.duration_s,
+            origin_bytes=result.sender_bytes, peer_upload_bytes=0,
+        )
+    if transport == "multicast":
+        result = multicast(
+            ledger, origin, receivers, n_bytes, purpose=SEED_PURPOSE
+        )
+        return SeedResult(
+            transport, n_bytes, result.n_receivers, result.duration_s,
+            origin_bytes=result.sender_bytes, peer_upload_bytes=0,
+        )
+    if transport == "swarm":
+        result = swarm_distribute(
+            ledger, origin, receivers, n_bytes, purpose=SEED_PURPOSE
+        )
+        return SeedResult(
+            transport, n_bytes, result.n_receivers, result.duration_s,
+            origin_bytes=result.origin_bytes,
+            peer_upload_bytes=result.peer_upload_bytes,
+        )
+    raise ConfigError(
+        f"unknown transport {transport!r}; choose from {', '.join(TRANSPORT_NAMES)}"
+    )

@@ -18,6 +18,7 @@ from .scenarios import (
     boot_storm,
     register_churn,
     steady_state_day,
+    storm_image_count,
 )
 from .tenants import Tenant, TenantPopulation
 
@@ -39,4 +40,5 @@ __all__ = [
     "poisson_arrivals",
     "register_churn",
     "steady_state_day",
+    "storm_image_count",
 ]

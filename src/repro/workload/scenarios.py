@@ -69,6 +69,12 @@ from ..obs import (
 from ..sim import Engine, Event, HistogramStats, Interrupted, Pipe, Resource, Timeline
 from ..vmi import AzureCommunityDataset, DatasetConfig, make_estimator
 from ..zfs import AdaptiveReplacementCache
+from ..placement import (
+    TRANSPORT_NAMES,
+    PlacementContext,
+    PlacementSpec,
+    build_coordinator,
+)
 from .arrivals import DAY_S, diurnal_arrivals, flash_crowd_arrivals, poisson_arrivals
 from .tenants import TenantPopulation
 
@@ -84,6 +90,7 @@ __all__ = [
     "boot_storm",
     "steady_state_day",
     "register_churn",
+    "storm_image_count",
 ]
 
 #: decompression throughput of one node core (gzip-6; matches repro.boot)
@@ -110,15 +117,16 @@ def _disk_offset(size: int, *key) -> int:
 
 class _InflightBoot:
     """Book-keeping handle for one boot in flight: what the fault injector
-    needs to preempt it (the process) and to target it (which bricks its
-    current fetch is streaming from)."""
+    needs to preempt it (the process) and to target it (which bricks or
+    peer holders its current fetch is streaming from)."""
 
-    __slots__ = ("node_name", "process", "bricks")
+    __slots__ = ("node_name", "process", "bricks", "peers")
 
     def __init__(self, node_name: str) -> None:
         self.node_name = node_name
         self.process = None  #: set right after engine.process() creates it
         self.bricks: set[str] = set()
+        self.peers: set[str] = set()  #: placement peer(s) serving this fetch
 
 
 class _BootTrace:
@@ -419,6 +427,65 @@ class TimedSquirrel:
             inflight.labels(node=name).set_function(
                 lambda b=self._inflight[name]: float(len(b))
             )
+        # placement instruments exist only when a coordinator is attached —
+        # a placement-free rig's metrics block stays byte-identical to
+        # pre-placement builds.
+        placement = self.squirrel.placement
+        if placement is not None:
+            self._m_redirects = m.counter(
+                "placement_peer_redirects_total",
+                "Boot misses served by a peer holder instead of the origin",
+                labels=("node",),
+            )
+            self._m_redirect_bytes = m.counter(
+                "placement_redirect_bytes_total",
+                "Paper-scale bytes moved by peer redirects",
+            )
+            self._m_fallbacks = m.counter(
+                "placement_origin_fallbacks_total",
+                "Misses that fell back to glusterfs (no live holder)",
+            )
+            self._m_adoptions = m.counter(
+                "placement_adoptions_total",
+                "Promote-on-miss adoptions",
+                labels=("node",),
+            )
+            self._m_adopted_bytes = m.counter(
+                "placement_adopted_bytes_total",
+                "Paper-scale bytes installed by adoptions",
+            )
+            self._m_seed_bytes = m.counter(
+                "placement_seed_bytes_total",
+                "Paper-scale receiver-ingress bytes moved by seeding",
+                labels=("transport",),
+            )
+            for name in names:
+                self._m_redirects.labels(node=name)
+                self._m_adoptions.labels(node=name)
+            for transport in TRANSPORT_NAMES:
+                self._m_seed_bytes.labels(transport=transport)
+            directory = placement.directory
+            hoarded = m.gauge(
+                "placement_hoarded_bytes",
+                "Logical cache bytes hoarded on a node (scaled units)",
+                labels=("node",),
+            )
+            images_hoarded = m.gauge(
+                "placement_images_hoarded",
+                "Images whose cache a node holds",
+                labels=("node",),
+            )
+            for name in names:
+                hoarded.labels(node=name).set_function(
+                    lambda d=directory, n=name: float(d.hoarded_bytes(n))
+                )
+                images_hoarded.labels(node=name).set_function(
+                    lambda d=directory, n=name: float(len(d.images_of(n)))
+                )
+            m.gauge(
+                "placement_images_tracked",
+                "Images tracked by the placement directory",
+            ).set_function(lambda d=directory: float(len(d.images())))
 
     # -- fault-injector queries ----------------------------------------------------
 
@@ -433,6 +500,16 @@ class TimedSquirrel:
             for boots in self._inflight.values()
             for boot in boots
             if brick_name in boot.bricks
+        ]
+
+    def inflight_from_peer(self, peer_name: str) -> list[_InflightBoot]:
+        """Boots currently streaming a redirect from one peer holder
+        (snapshot) — what a crash of that holder must preempt."""
+        return [
+            boot
+            for boots in self._inflight.values()
+            for boot in boots
+            if peer_name in boot.peers
         ]
 
     # -- timed operations (each returns a yieldable Process) ----------------------
@@ -511,6 +588,7 @@ class TimedSquirrel:
 
     def _attempt(self, image_id, node_name, force_cold: bool, handle, bt):
         """One boot attempt (the pre-fault boot path, verbatim)."""
+        outcome = None
         if force_cold:
             # the "w/o caches" baseline: the boot set crosses the network
             # even when a cache exists (Figure 18's comparison series)
@@ -526,7 +604,13 @@ class TimedSquirrel:
             cache_hit = outcome.cache_hit
         if cache_hit:
             yield from self._warm_read(image_id, node_name, bt)
+        elif outcome is not None and outcome.source == "peer":
+            yield from self._peer_fetch(outcome, node_name, handle, bt)
         else:
+            if outcome is not None and self.squirrel.placement is not None:
+                # placement active but no live holder: glusterfs fallback
+                self.timeline.count("origin_fallbacks")
+                self._m_fallbacks.inc()
             yield from self._cold_fetch(node_name, moved, plan, handle, bt)
         return cache_hit
 
@@ -674,6 +758,64 @@ class TimedSquirrel:
         finally:
             handle.bricks.clear()
 
+    def _peer_fetch(self, outcome, node_name: str, handle, bt):
+        """Placement redirect: the cache slice streams from the holder's NIC
+        into the reader's NIC, then lands on the local disk — the glusterfs
+        bricks never see the read. A crash of the holder preempts the flow
+        (via :meth:`inflight_from_peer`); the retry re-picks a survivor."""
+        peer_name = outcome.peer
+        total = int(self.scale_up(outcome.network_bytes))
+        self.timeline.count("peer_redirects")
+        self.timeline.count("redirect_bytes", outcome.network_bytes)
+        self._m_redirects.labels(node=node_name).inc()
+        self._m_redirect_bytes.inc(total)
+        redirect = bt.child(
+            "placement.redirect", peer=peer_name, n_bytes=total
+        )
+        flows: list[tuple[Pipe, Event]] = []
+        try:
+            peer_pipe = self.nic[peer_name]
+            peer_span = bt.child(
+                "nic.transfer", parent=redirect, n_bytes=total, role="peer"
+            )
+            peer_event = peer_pipe.transfer(total)
+            peer_event._wait(lambda _e, s=peer_span: s.end())
+            flows.append((peer_pipe, peer_event))
+            handle.peers.add(peer_name)
+            nic = self.nic[node_name]
+            nic_span = bt.child(
+                "nic.transfer", parent=redirect, n_bytes=total, role="reader"
+            )
+            nic_event = nic.transfer(total)
+            nic_event._wait(lambda _e, s=nic_span: s.end())
+            flows.append((nic, nic_event))
+            yield self.engine.all_of([event for _pipe, event in flows])
+            bt.att.charge("net_s")
+            redirect.end()
+            disk_span = bt.child("disk.write", n_bytes=total)
+            service = yield self.disk[node_name].write(
+                _disk_offset(total, node_name), total
+            )
+            bt.att.charge_split(service, "disk_s")
+            disk_span.end(service_s=service)
+            if outcome.adopted:
+                adopt = bt.child(
+                    "placement.adopt", image_id=outcome.image_id,
+                    n_bytes=total,
+                )
+                self.timeline.count("adoptions")
+                self._m_adoptions.labels(node=node_name).inc()
+                self._m_adopted_bytes.inc(total)
+                adopt.end()
+        except Interrupted:
+            # the redirect died with the reader or its peer: withdraw the
+            # half-done flows; the retry consults the directory again
+            for pipe, event in flows:
+                pipe.cancel(event)
+            raise
+        finally:
+            handle.peers.clear()
+
     def register(self, spec):
         """One timed registration; observes ``register_latency_s``."""
         return self.engine.process(
@@ -690,22 +832,71 @@ class TimedSquirrel:
         yield engine.timeout(REGISTRATION_BOOT_SECONDS + SNAPSHOT_CREATE_SECONDS)
         self._sync_clock()
         record = self.squirrel.register(spec)
-        # multicast: the diff crosses the primary's uplink once and lands on
-        # every online node's NIC concurrently
-        diff = int(self.scale_up(record.diff_bytes))
-        primary = self.squirrel.cluster.storage.primary.name
-        transfers = [self.brick[primary].transfer(diff)]
-        transfers += [
-            self.nic[node.name].transfer(diff)
-            for node in self.squirrel.cluster.online_nodes()
-        ]
-        yield engine.all_of(transfers)
-        span.end(diff_bytes=diff)
+        placement = self.squirrel.placement
+        if placement is not None and placement.last_seed is not None:
+            yield from self._seed_flows(spec, placement, span)
+        else:
+            # multicast: the diff crosses the primary's uplink once and
+            # lands on every online node's NIC concurrently
+            diff = int(self.scale_up(record.diff_bytes))
+            primary = self.squirrel.cluster.storage.primary.name
+            transfers = [self.brick[primary].transfer(diff)]
+            transfers += [
+                self.nic[node.name].transfer(diff)
+                for node in self.squirrel.cluster.online_nodes()
+            ]
+            yield engine.all_of(transfers)
+        span.end(diff_bytes=int(self.scale_up(record.diff_bytes)))
         self.timeline.count("registrations")
         self.timeline.observe("register_latency_s", engine.now - t0)
         self._m_registrations.inc()
         self._m_register_latency.observe(engine.now - t0)
         return record
+
+    def _seed_flows(self, spec, placement, parent_span):
+        """Drive one seeding round through the contended links.
+
+        The accounting call (:meth:`PlacementCoordinator.seed_image`) already
+        ran inside ``Squirrel.register``; this charges its bytes to the
+        pipes, shaped like the transport: the origin's brick uplink carries
+        the transport's origin bytes (n copies for unicast, ~1 for
+        multicast, ~log n for swarm), every online holder's NIC ingests one
+        payload, and swarm holders additionally upload their peer share.
+        """
+        seed = placement.last_seed
+        cluster = self.squirrel.cluster
+        holders = [
+            name
+            for name in placement.directory.holders(spec.image_id)
+            if cluster.node(name).online
+        ]
+        payload = int(self.scale_up(seed.n_bytes))
+        span = self.tracer.span(
+            f"seed.{seed.transport}", parent=parent_span, track="control",
+            image_id=spec.image_id, n_receivers=len(holders),
+            n_bytes=payload,
+        )
+        if holders:
+            primary = cluster.storage.primary.name
+            origin_bytes = int(self.scale_up(seed.origin_bytes))
+            transfers = []
+            if origin_bytes > 0:
+                transfers.append(self.brick[primary].transfer(origin_bytes))
+            upload_share = (
+                int(self.scale_up(seed.peer_upload_bytes)) // len(holders)
+                if seed.peer_upload_bytes > 0
+                else 0
+            )
+            for name in holders:
+                transfers.append(self.nic[name].transfer(payload))
+                if upload_share > 0:
+                    transfers.append(self.nic[name].transfer(upload_share))
+            yield self.engine.all_of(transfers)
+            self._m_seed_bytes.labels(transport=seed.transport).inc(
+                payload * len(holders)
+            )
+            self.timeline.count("seed_receiver_bytes", seed.receiver_bytes)
+        span.end()
 
     def resync(self, node_name: str):
         """One timed offline-propagation catch-up; observes
@@ -726,12 +917,18 @@ class TimedSquirrel:
         moved = self.squirrel.resync_node(node_name)
         if moved:
             self.timeline.count("resync_bytes", moved)
-            self.timeline.count(
-                "incremental_resyncs" if incremental else "full_replications"
-            )
-            self._m_resyncs.labels(
-                kind="incremental" if incremental else "full"
-            ).inc()
+            if self.squirrel.placement is not None:
+                # placement reseed: the directory's assigned slices, not a
+                # snapshot-chain replay
+                self.timeline.count("placement_reseeds")
+                self._m_resyncs.labels(kind="reseed").inc()
+            else:
+                self.timeline.count(
+                    "incremental_resyncs" if incremental else "full_replications"
+                )
+                self._m_resyncs.labels(
+                    kind="incremental" if incremental else "full"
+                ).inc()
             self._m_resync_bytes.inc(moved)
             scaled = int(self.scale_up(moved))
             primary = self.squirrel.cluster.storage.primary.name
@@ -801,6 +998,7 @@ def _build_rig(
     metrics_interval_s: float = 5.0,
     dataset: AzureCommunityDataset | None = None,
     estimator=None,
+    placement_factory=None,
 ) -> _Rig:
     dataset = dataset or AzureCommunityDataset(DatasetConfig(scale=scale))
     cluster = IaaSCluster.build(
@@ -810,6 +1008,9 @@ def _build_rig(
         "gzip6", (block_size,), samples_per_point=2
     )
     squirrel = Squirrel(cluster=cluster, estimator=estimator)
+    if placement_factory is not None:
+        # attach before TimedSquirrel so _instrument sees the coordinator
+        squirrel.placement = placement_factory(squirrel)
     engine = Engine(seed=seed, trace=trace)
     timeline = Timeline(engine)
     metrics = MetricsRegistry()
@@ -919,6 +1120,47 @@ def _storm_trace(config: StormConfig, n_images: int):
     return plan
 
 
+def _placement_factory(config: StormConfig, spec: PlacementSpec, n_images: int):
+    """Coordinator factory for a storm: the placement context is derived
+    from the same tenant population (same seed) that generates the arrival
+    trace, so the hoard map is a pure function of (config, spec)."""
+
+    def factory(squirrel):
+        population = TenantPopulation(
+            config.n_tenants,
+            n_images,
+            seed=derive_seed("workload-storm-tenants", config.seed),
+            zipf_exponent=config.zipf_exponent,
+        )
+        context = PlacementContext(
+            nodes=tuple(node.name for node in squirrel.cluster.compute),
+            popularity=tuple(
+                float(p) for p in population.expected_popularity()
+            ),
+            owners=tuple(int(t) for t in population.image_owners()),
+            tenant_weights=tuple(
+                float(w) for w in population.tenant_weights
+            ),
+        )
+        return build_coordinator(spec, squirrel.cluster, context)
+
+    return factory
+
+
+def storm_image_count(
+    config: StormConfig, dataset: AzureCommunityDataset
+) -> int:
+    """Images the storm registers: the arrival trace's highest image id + 1.
+
+    Both storm sides register ``dataset.images[:storm_image_count(...)]``,
+    so analytic per-image accounting (e.g. the placement experiment's
+    full-replication reference) must use this count, not the VM count."""
+    plan = _storm_trace(
+        config, min(config.n_nodes * config.vms_per_node, len(dataset.images))
+    )
+    return max(image_id for _, _, image_id in plan) + 1
+
+
 def _run_storm_side(
     config: StormConfig,
     *,
@@ -926,7 +1168,10 @@ def _run_storm_side(
     dataset: AzureCommunityDataset,
     estimator,
     plan,
+    placement: PlacementSpec | None = None,
+    placement_sink=None,
 ) -> tuple[StormSide, SpanTracer]:
+    n_images = max(image_id for _, _, image_id in plan) + 1
     rig = _build_rig(
         n_compute=config.n_nodes,
         n_storage=config.n_storage,
@@ -938,11 +1183,15 @@ def _run_storm_side(
         metrics_interval_s=config.metrics_interval_s,
         dataset=dataset,
         estimator=estimator,
+        placement_factory=(
+            _placement_factory(config, placement, n_images)
+            if with_caches and placement is not None
+            else None
+        ),
     )
     squirrel, engine, timeline, timed = (
         rig.squirrel, rig.engine, rig.timeline, rig.timed,
     )
-    n_images = max(image_id for _, _, image_id in plan) + 1
     gluster = squirrel.cluster.storage.gluster
     if with_caches:
         for spec in dataset.images[:n_images]:
@@ -980,6 +1229,8 @@ def _run_storm_side(
         summary=timeline.summary(),
         metrics=rig.metrics_block(),
     )
+    if placement_sink is not None and squirrel.placement is not None:
+        placement_sink(squirrel.placement)
     return side, timed.tracer
 
 
@@ -989,6 +1240,8 @@ def boot_storm(
     dataset: AzureCommunityDataset | None = None,
     estimator=None,
     trace_path=None,
+    placement: PlacementSpec | None = None,
+    placement_sink=None,
 ) -> StormReport:
     """Run the same flash crowd with Squirrel and without caches.
 
@@ -997,6 +1250,12 @@ def boot_storm(
     dataset per run; they must match ``config.scale``/``config.block_size``.
     With a ``trace_path``, both sides' spans are exported there as one
     Chrome trace-event JSON file (processes ``squirrel``/``baseline``).
+
+    ``placement`` attaches a partial-hoarding coordinator to the Squirrel
+    side (the no-cache baseline is unaffected); ``placement_sink``, if
+    given, receives that side's coordinator after the run so callers can
+    read its tallies. ``placement=None`` is the paper baseline and is
+    byte-identical to pre-placement behaviour.
     """
     if config.n_nodes < 1 or config.vms_per_node < 1:
         raise ConfigError("storm needs at least one node and one VM")
@@ -1011,7 +1270,8 @@ def boot_storm(
     for with_caches in (True, False):
         side, tracer = _run_storm_side(
             config, with_caches=with_caches, dataset=dataset,
-            estimator=estimator, plan=plan,
+            estimator=estimator, plan=plan, placement=placement,
+            placement_sink=placement_sink,
         )
         sides[with_caches] = side
         tracers["squirrel" if with_caches else "baseline"] = tracer

@@ -93,3 +93,37 @@ class TenantPopulation:
             _tenant, image_id = self.sample(rng)
             counts[image_id] += 1
         return counts / max(1, n_samples)
+
+    def expected_popularity(self) -> np.ndarray:
+        """Exact per-image request probability implied by the model.
+
+        The weighted mixture of every tenant's Zipf pmf pushed through that
+        tenant's catalogue permutation — no sampling involved, so placement
+        policies built on it stay deterministic per seed.
+        """
+        popularity = np.zeros(self.n_images, dtype=np.float64)
+        for tenant in self.tenants:
+            popularity[tenant.image_order] += tenant.weight * self._image_rank_p
+        return popularity
+
+    def image_owners(self) -> np.ndarray:
+        """Owning tenant per image id.
+
+        The owner is the tenant contributing the largest expected request
+        share for the image; ties break toward the lower tenant id (strict
+        ``>`` comparison in tenant order), keeping the mapping deterministic.
+        """
+        best_tenant = np.zeros(self.n_images, dtype=np.int64)
+        best_share = np.full(self.n_images, -1.0, dtype=np.float64)
+        for tenant in self.tenants:
+            share = np.zeros(self.n_images, dtype=np.float64)
+            share[tenant.image_order] = tenant.weight * self._image_rank_p
+            better = share > best_share
+            best_tenant[better] = tenant.tenant_id
+            best_share[better] = share[better]
+        return best_tenant
+
+    @property
+    def tenant_weights(self) -> np.ndarray:
+        """Normalised tenant request weights, indexed by tenant id."""
+        return self._tenant_weights

@@ -32,3 +32,41 @@ class TestCli:
     def test_alias_resolution(self, capsys):
         assert main(["tab03", "--scale", "4096", "--quick", "16"]) == 0
         assert "Table 3" in capsys.readouterr().out
+
+
+class TestExportDirValidation:
+    """Bad --metrics/--store/--out targets fail up front, naming the flag."""
+
+    def test_bad_metrics_dir_fails_before_running(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["storm", "--metrics", "/proc/nope/run"])
+        err = capsys.readouterr().err
+        assert "--metrics" in err and "/proc/nope/run" in err
+
+    def test_bad_store_dir_fails_before_sweeping(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "storm", "--grid", "seed=0..1",
+                "--store", "/proc/nope/results",
+            ])
+        err = capsys.readouterr().err
+        assert "--store" in err
+
+    def test_bad_out_dir_fails_before_sweeping(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "storm", "--grid", "seed=0..1",
+                "--out", "/proc/nope/out",
+            ])
+        err = capsys.readouterr().err
+        assert "--out" in err
+
+    def test_good_metrics_dir_is_created_up_front(self, tmp_path, capsys):
+        target = tmp_path / "deep" / "run"
+        assert main([
+            "storm", "--nodes", "2", "--vms-per-node", "1",
+            "--scale", "4096", "--metrics", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert (target / "report.json").exists()

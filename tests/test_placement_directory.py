@@ -1,0 +1,102 @@
+"""Unit tests for the placement directory: holders, distance, failover."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.placement import PlacementDirectory
+
+NODES = tuple(f"compute{i}" for i in range(8))
+
+
+def up(*down):
+    dead = set(down)
+    return lambda name: name not in dead
+
+
+@pytest.fixture
+def directory():
+    d = PlacementDirectory(NODES)
+    d.add_image(0, ("compute1", "compute5"), 100)
+    d.add_image(1, ("compute0",), 40)
+    return d
+
+
+class TestRegistration:
+    def test_holders_in_insertion_order(self, directory):
+        assert directory.holders(0) == ("compute1", "compute5")
+        assert directory.holds("compute5", 0)
+        assert not directory.holds("compute2", 0)
+
+    def test_unknown_node_rejected(self, directory):
+        with pytest.raises(ConfigError, match="unknown compute node"):
+            directory.add_image(2, ("compute99",), 10)
+
+    def test_empty_holder_set_rejected(self, directory):
+        with pytest.raises(ConfigError, match="at least one holder"):
+            directory.add_image(2, (), 10)
+
+    def test_drop_forgets_everything(self, directory):
+        directory.drop_image(0)
+        assert directory.holders(0) == ()
+        assert directory.cache_bytes_of(0) == 0
+        assert directory.images() == [1]
+
+
+class TestAccounting:
+    def test_hoarded_bytes_per_node_and_total(self, directory):
+        assert directory.hoarded_bytes("compute1") == 100
+        assert directory.hoarded_bytes("compute0") == 40
+        assert directory.total_hoarded_bytes() == 2 * 100 + 40
+        assert directory.total_replicas() == 3
+
+    def test_adoption_grows_the_holder_set(self, directory):
+        directory.adopt("compute3", 0)
+        assert directory.holders(0) == ("compute1", "compute5", "compute3")
+        assert directory.total_hoarded_bytes() == 3 * 100 + 40
+        assert directory.images_of("compute3") == [0]
+
+    def test_adopting_untracked_image_rejected(self, directory):
+        with pytest.raises(ConfigError, match="not tracked"):
+            directory.adopt("compute3", 9)
+
+
+class TestNearestHolder:
+    def test_ring_distance_picks_closest(self, directory):
+        # compute6 is 1 hop from compute5 around the ring, 3 from compute1
+        assert directory.nearest_holder(0, "compute6", is_up=up()) == "compute5"
+        # compute0 wraps: compute1 at distance 1, compute5 at distance 3
+        assert directory.nearest_holder(0, "compute0", is_up=up()) == "compute1"
+
+    def test_tie_breaks_to_lower_index(self):
+        d = PlacementDirectory(NODES)
+        d.add_image(0, ("compute1", "compute5"), 10)
+        # compute3 is 2 hops from both holders; lower index wins
+        assert d.nearest_holder(0, "compute3", is_up=up()) == "compute1"
+
+    def test_survivor_failover(self, directory):
+        assert (
+            directory.nearest_holder(0, "compute6", is_up=up("compute5"))
+            == "compute1"
+        )
+        assert (
+            directory.nearest_holder(
+                0, "compute6", is_up=up("compute5", "compute1")
+            )
+            is None
+        )
+
+    def test_reader_never_returned(self, directory):
+        assert directory.nearest_holder(1, "compute0", is_up=up()) is None
+
+    def test_untracked_image_has_no_holder(self, directory):
+        assert directory.nearest_holder(7, "compute0", is_up=up()) is None
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            PlacementDirectory(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            PlacementDirectory(("a", "a"))

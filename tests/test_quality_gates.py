@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.boot",
     "repro.net",
     "repro.core",
+    "repro.placement",
     "repro.analysis",
     "repro.experiments",
     "repro.metrics",
