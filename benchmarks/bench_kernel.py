@@ -1,0 +1,138 @@
+"""Event-core benchmark: events/second, heap vs calendar queue.
+
+Two measurements, both deterministic workloads:
+
+* raw queue throughput — push/pop a pre-generated schedule through each
+  :class:`~repro.sim.EventQueue` implementation alone;
+* engine throughput — a contended mini-cluster (pipes + resources +
+  same-instant collisions) driven end-to-end through :class:`Engine`
+  under each queue kind, with the byte-identity of the two traces
+  asserted as part of the bench (the fast core is only fast if it is
+  also *right*).
+
+The rendering lands in ``benchmarks/results/kernel.txt`` and the raw
+numbers in ``BENCH_kernel.json`` at the repo root, which is what CI
+archives to track the kernel's perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.sim import Engine, Pipe, Resource, make_queue, QUEUE_KINDS
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: raw-queue schedule size and engine workload shape (events ≈ VMS × OPS)
+N_SCHEDULE = 200_000
+N_VMS = 2_000
+N_OPS = 5
+
+
+def _schedule(n: int) -> list[tuple]:
+    rng = np.random.default_rng(7)
+    times = rng.exponential(0.5, size=n).cumsum()
+    # mix in same-instant runs: every 16th entry collides with its neighbour
+    times[::16] = times[1::16][: times[::16].size]
+    tiebreaks = rng.integers(0, 1 << 62, size=n)
+    return [
+        (float(t), int(tb), seq, None, None)
+        for seq, (t, tb) in enumerate(zip(times, tiebreaks))
+    ]
+
+
+def _raw_queue_rate(kind: str, entries: list[tuple]) -> float:
+    queue = make_queue(kind)
+    started = time.perf_counter()
+    for entry in entries:
+        queue.push(entry)
+    drained = []
+    while len(queue):
+        drained.append(queue.pop())
+    elapsed = time.perf_counter() - started
+    assert drained == sorted(entries), f"{kind} queue broke the total order"
+    return 2 * len(entries) / elapsed  # one push + one pop per entry
+
+
+def _engine_run(kind: str) -> tuple[float, int, list]:
+    engine = Engine(seed=3, queue=kind)
+    pipe = Pipe(engine, 1e6, name="link")
+    cores = Resource(engine, capacity=4, name="cores")
+    counted = 0
+
+    def vm(i):
+        nonlocal counted
+        yield engine.timeout(float(i % 7))
+        for _ in range(N_OPS):
+            yield pipe.transfer(1000)
+            yield cores.request()
+            yield engine.timeout(0.01)
+            cores.release()
+            counted += 1
+
+    for i in range(N_VMS):
+        engine.process(vm(i), label=f"vm:{i}")
+    started = time.perf_counter()
+    horizon = engine.run()
+    elapsed = time.perf_counter() - started
+    # ~4 events per op (transfer, request grant, timeout, plus scheduling)
+    events = counted * 4 + N_VMS
+    return elapsed, events, [horizon, counted]
+
+
+def test_kernel_events_per_second(benchmark, record_result):
+    entries = _schedule(N_SCHEDULE)
+
+    def run():
+        result = {}
+        for kind in QUEUE_KINDS:
+            raw = _raw_queue_rate(kind, entries)
+            elapsed, events, digest = _engine_run(kind)
+            result[kind] = {
+                "raw_queue_ops_per_s": raw,
+                "engine_events_per_s": events / elapsed,
+                "engine_elapsed_s": elapsed,
+                "engine_events": events,
+                "digest": digest,
+            }
+        return result
+
+    result = benchmark.pedantic(run, rounds=1)
+    digests = {kind: result[kind].pop("digest") for kind in result}
+    assert digests["heap"] == digests["calendar"], (
+        "queue kinds diverged: " + repr(digests)
+    )
+
+    lines = [
+        "Simulation kernel: events/second by queue implementation",
+        "-" * 56,
+        f"{'queue':>10s}  {'raw ops/s':>12s}  {'engine ev/s':>12s}",
+    ]
+    for kind in QUEUE_KINDS:
+        row = result[kind]
+        lines.append(
+            f"{kind:>10s}  {row['raw_queue_ops_per_s']:>12.0f}  "
+            f"{row['engine_events_per_s']:>12.0f}"
+        )
+    lines.append(
+        f"(workload: {N_SCHEDULE} scheduled entries raw; "
+        f"{N_VMS} VMs x {N_OPS} contended ops through the engine)"
+    )
+    record_result("kernel", "\n".join(lines))
+
+    payload = {
+        "benchmark": "kernel",
+        "workload": {
+            "raw_entries": N_SCHEDULE,
+            "engine_vms": N_VMS,
+            "engine_ops_per_vm": N_OPS,
+        },
+        "queues": result,
+    }
+    (REPO_ROOT / "BENCH_kernel.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

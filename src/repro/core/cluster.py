@@ -15,6 +15,7 @@ from ..common.errors import NetworkError
 from ..common.units import GiB, SQUIRREL_BLOCK_SIZE
 from ..net import GBE_1, GlusterVolume, LinkProfile, Node, NodeKind, TransferLedger
 from ..zfs import Dataset, ZPool
+from .replica import Replica, ReplicaStore
 
 __all__ = ["ComputeNode", "StorageTier", "IaaSCluster", "CCVOLUME", "SCVOLUME"]
 
@@ -24,21 +25,39 @@ SCVOLUME = "scvol"
 
 @dataclass
 class ComputeNode:
-    """One compute node: NIC + local pool with the ccVolume."""
+    """One compute node: NIC + (possibly shared) pool with the ccVolume.
+
+    The node's pool lives behind a :class:`~repro.core.replica.Replica` —
+    nodes with identical operation histories share one flyweight pool
+    (see :mod:`repro.core.replica`). Constructing a node around a raw
+    :class:`~repro.zfs.ZPool` still works: it is wrapped in a private
+    single-referent replica, which behaves exactly like the historical
+    pool-per-node layout.
+    """
 
     node: Node
-    pool: ZPool
+    replica: Replica
     online: bool = True
     #: name of the newest scVolume snapshot this node has received
     synced_snapshot: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.replica, ZPool):
+            wrapped = Replica(self.replica)
+            wrapped.refs = 1
+            self.replica = wrapped
 
     @property
     def name(self) -> str:
         return self.node.name
 
     @property
+    def pool(self) -> ZPool:
+        return self.replica.pool
+
+    @property
     def ccvolume(self) -> Dataset:
-        return self.pool.dataset(CCVOLUME)
+        return self.replica.pool.dataset(CCVOLUME)
 
 
 @dataclass
@@ -73,6 +92,9 @@ class IaaSCluster:
     compute: list[ComputeNode]
     storage: StorageTier
     ledger: TransferLedger
+    #: interning table for the compute nodes' shared ccVolume replicas;
+    #: ``None`` on hand-built clusters (every node keeps a private pool)
+    replicas: ReplicaStore | None = None
     #: name → node index; once workloads schedule per-node events, node()
     #: is on the hot path and a linear scan would be O(n) per event
     _by_name: dict[str, ComputeNode] = field(default_factory=dict)
@@ -111,21 +133,26 @@ class IaaSCluster:
         storage_pool.create_dataset(
             SCVOLUME, record_size=block_size, compression=compression, dedup=True
         )
-        compute = []
-        for i in range(n_compute):
-            pool = ZPool(
-                f"ccpool-{i}", capacity=pool_capacity, store_payloads=False
+        # all nodes start with identical (empty) ccVolumes: one shared
+        # blank pool, interned — nodes only diverge when their operation
+        # histories do (see repro.core.replica)
+        blank = ZPool("ccpool", capacity=pool_capacity, store_payloads=False)
+        blank.create_dataset(
+            CCVOLUME, record_size=block_size, compression=compression, dedup=True
+        )
+        replicas = ReplicaStore(blank)
+        compute = [
+            ComputeNode(
+                Node(f"compute{i}", NodeKind.COMPUTE, link),
+                replicas.acquire_blank(),
             )
-            pool.create_dataset(
-                CCVOLUME, record_size=block_size, compression=compression, dedup=True
-            )
-            compute.append(
-                ComputeNode(Node(f"compute{i}", NodeKind.COMPUTE, link), pool)
-            )
+            for i in range(n_compute)
+        ]
         return cls(
             compute=compute,
             storage=StorageTier(storage_nodes, gluster, storage_pool),
             ledger=ledger,
+            replicas=replicas,
         )
 
     # -- helpers ------------------------------------------------------------------

@@ -33,7 +33,8 @@ from ..vmi.image import ImageSpec, cache_stream
 from ..vmi.streams import block_view
 from ..zfs import SendStream, generate_send, receive
 from ..net import multicast
-from .cluster import ComputeNode, IaaSCluster
+from .cluster import CCVOLUME, ComputeNode, IaaSCluster
+from .replica import apply_to_nodes
 
 __all__ = ["Squirrel", "BootOutcome", "RegistrationRecord", "cold_read_bytes"]
 
@@ -130,6 +131,11 @@ class Squirrel:
     #: the default — is the paper baseline: every cache on every node,
     #: behaviour byte-identical to pre-placement builds.
     placement: object | None = None
+    #: optional :class:`~repro.vmi.ImageCatalog` sharing memoised cache
+    #: block views across consumers (e.g. both sides of a storm register
+    #: the same images). Synthesis is pure, so a memoised view is
+    #: bit-identical to one built inline — results never depend on it.
+    catalog: object | None = None
 
     # -- time ----------------------------------------------------------------------
 
@@ -139,6 +145,20 @@ class Squirrel:
         self.clock_days += days
 
     # -- register (Section 3.2) -------------------------------------------------------
+
+    def _cache_view(self, spec: ImageSpec, record_size: int):
+        """The cache stream folded at ``record_size`` — through the shared
+        catalog memo when the catalog owns this exact spec, else inline."""
+        catalog = self.catalog
+        if catalog is not None:
+            try:
+                if catalog.spec(spec.image_id) is spec:
+                    return catalog.block_view(
+                        spec.image_id, record_size, "caches"
+                    )
+            except Exception:
+                pass  # unknown id / foreign spec: build inline below
+        return block_view(cache_stream(spec), record_size)
 
     def register(self, spec: ImageSpec, *, uploader: str = "user") -> RegistrationRecord:
         """Register a new VMI: upload, cache creation, snapshot, propagation."""
@@ -159,7 +179,7 @@ class Squirrel:
         )
 
         # 2. move the cache from memory into the scVolume
-        view = block_view(cache_stream(spec), scvol.record_size)
+        view = self._cache_view(spec, scvol.record_size)
         psizes = view.psizes(self.estimator)
         rows = list(
             zip(
@@ -237,10 +257,23 @@ class Squirrel:
             stream.size_bytes,
             purpose="cache-propagation",
         )
+        # nodes in lockstep share one interned replica: the whole fleet's
+        # receive is a single pool mutation, not one per node
+        self._apply_replica(
+            ready,
+            ("recv", stream.from_snapshot, stream.to_snapshot),
+            lambda pool: receive(pool.dataset(CCVOLUME), stream),
+        )
         for node in ready:
-            receive(node.ccvolume, stream)
             node.synced_snapshot = stream.to_snapshot
         return result
+
+    def _apply_replica(self, nodes, token, mutate, *, when=None) -> None:
+        """Route one ccVolume mutation through the cluster's replica store."""
+        apply_to_nodes(
+            getattr(self.cluster, "replicas", None), nodes, token, mutate,
+            when=when,
+        )
 
     # -- boot (Section 3.3) ------------------------------------------------------------
 
@@ -338,11 +371,17 @@ class Squirrel:
             for snap in snaps[:-1]  # never the latest
             if self._snapshot_days.get(snap.name, 0.0) < cutoff
         ]
+        online = self.cluster.online_nodes()
         for name in victims:
             scvol.destroy_snapshot(name)
-            for node in self.cluster.online_nodes():
-                if node.ccvolume.has_snapshot(name):
-                    node.ccvolume.destroy_snapshot(name)
+            self._apply_replica(
+                online,
+                ("gcsnap", name),
+                lambda pool, name=name: pool.dataset(CCVOLUME)
+                .destroy_snapshot(name),
+                when=lambda pool, name=name: pool.dataset(CCVOLUME)
+                .has_snapshot(name),
+            )
             del self._snapshot_days[name]
         return victims
 
@@ -392,7 +431,14 @@ class Squirrel:
         # the node was away); frees the space their deadlists pin
         for snap in list(node.ccvolume.snapshots()):
             if not scvol.has_snapshot(snap.name):
-                node.ccvolume.destroy_snapshot(snap.name)
+                self._apply_replica(
+                    [node],
+                    ("gcsnap", snap.name),
+                    lambda pool, name=snap.name: pool.dataset(CCVOLUME)
+                    .destroy_snapshot(name),
+                    when=lambda pool, name=snap.name: pool.dataset(CCVOLUME)
+                    .has_snapshot(name),
+                )
         return moved
 
     def _ship_to_node(self, node: ComputeNode, stream: SendStream) -> int:
@@ -405,22 +451,29 @@ class Squirrel:
             "offline-propagation",
             duration,
         )
-        receive(node.ccvolume, stream)
+        # a node replaying a diff its never-offline peers already applied
+        # lands on their interned state — the receive repoints, zero work
+        self._apply_replica(
+            [node],
+            ("recv", stream.from_snapshot, stream.to_snapshot),
+            lambda pool: receive(pool.dataset(CCVOLUME), stream),
+        )
         node.synced_snapshot = stream.to_snapshot
         return stream.size_bytes
 
     def _reset_ccvolume(self, node: ComputeNode) -> None:
-        from .cluster import CCVOLUME
-
-        pool = node.pool
-        pool.destroy_dataset(CCVOLUME)
         scvol = self.cluster.storage.scvolume
-        pool.create_dataset(
-            CCVOLUME,
-            record_size=scvol.record_size,
-            compression=scvol.compression,
-            dedup=True,
-        )
+
+        def reset(pool) -> None:
+            pool.destroy_dataset(CCVOLUME)
+            pool.create_dataset(
+                CCVOLUME,
+                record_size=scvol.record_size,
+                compression=scvol.compression,
+                dedup=True,
+            )
+
+        self._apply_replica([node], ("reset",), reset)
         node.synced_snapshot = None
 
     # -- introspection -------------------------------------------------------------------

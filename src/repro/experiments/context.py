@@ -14,6 +14,7 @@ Environment knobs (read by :func:`default_context`):
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Literal, Sequence
@@ -25,17 +26,20 @@ from ..codecs import SizeEstimator
 from ..common.units import ANALYSIS_BLOCK_SIZES
 from ..vmi import (
     AzureCommunityDataset,
+    CatalogConfig,
     DatasetConfig,
-    block_view,
-    cache_stream,
-    image_stream,
+    LazyImageCatalog,
     make_estimator,
 )
+from ..vmi.catalog import DEFAULT_BUDGET_BYTES
 from ..vmi.streams import BlockView
 
 __all__ = ["ExperimentConfig", "ExperimentContext", "default_context", "Subject"]
 
 Subject = Literal["caches", "images"]
+
+#: one deprecation nudge per process, not one per figure experiment
+_warned_dataset_at = False
 
 
 @dataclass(frozen=True)
@@ -45,55 +49,81 @@ class ExperimentConfig:
     scale: float = 1.0 / 32.0
     quick: int = 1  #: keep every quick-th image (1 = all 607)
     calibration_samples: int = 4
+    #: byte budget of each scale's catalog memo (streams + block views)
+    catalog_budget_bytes: int = DEFAULT_BUDGET_BYTES
 
 
 class ExperimentContext:
-    """Lazily built, memoising experiment state."""
+    """Lazily built, memoising experiment state.
+
+    Datasets live behind :meth:`catalog`: per scale, one
+    :class:`~repro.vmi.LazyImageCatalog` whose grain streams materialise
+    on first access under the config's byte budget. A catalog is a few
+    hundred spec records — holding one per scale is cheap; the heavy
+    stream memos inside each are budget-bounded.
+    """
 
     def __init__(self, config: ExperimentConfig | None = None) -> None:
         self.config = config or ExperimentConfig()
-        self._dataset: AzureCommunityDataset | None = None
-        self._scaled_datasets: dict[float, AzureCommunityDataset] = {}
-        self._streams: dict[Subject, list[np.ndarray]] = {}
+        self._catalogs: dict[float, LazyImageCatalog] = {}
         self._metrics_memo: dict[tuple[Subject, str, int], MetricsResult] = {}
 
     # -- dataset and streams -----------------------------------------------------
 
+    def catalog(self, scale: float | None = None) -> LazyImageCatalog:
+        """The lazy catalog at ``scale`` (default: the analysis scale),
+        memoised for the context's lifetime. Timed scenarios own their
+        scale (usually 1/512, not the analysis scale), so without this
+        every storm/recovery run in a ``python -m repro all`` sweep
+        re-built the spec table."""
+        if scale is None:
+            scale = self.config.scale
+        if scale not in self._catalogs:
+            self._catalogs[scale] = LazyImageCatalog(
+                CatalogConfig(
+                    dataset=DatasetConfig(scale=scale),
+                    budget_bytes=self.config.catalog_budget_bytes,
+                )
+            )
+        return self._catalogs[scale]
+
     @property
     def dataset(self) -> AzureCommunityDataset:
-        if self._dataset is None:
-            self._dataset = AzureCommunityDataset(
-                DatasetConfig(scale=self.config.scale)
-            )
-        return self._dataset
+        return self.catalog().dataset
 
     def dataset_at(self, scale: float) -> AzureCommunityDataset:
-        """A dataset at an arbitrary scale, memoised for the context's
-        lifetime. Timed scenarios own their scale (usually 1/512, not the
-        analysis scale), so without this every storm/recovery run in a
-        ``python -m repro all`` sweep re-synthesised the whole image set."""
-        if scale == self.config.scale:
-            return self.dataset
-        if scale not in self._scaled_datasets:
-            self._scaled_datasets[scale] = AzureCommunityDataset(
-                DatasetConfig(scale=scale)
+        """Deprecated: use :meth:`catalog` — this eager-dataset view no
+        longer pre-builds streams, only the spec table."""
+        global _warned_dataset_at
+        if not _warned_dataset_at:
+            _warned_dataset_at = True
+            warnings.warn(
+                "ExperimentContext.dataset_at(scale) is deprecated; use "
+                "ExperimentContext.catalog(scale) (lazy ImageCatalog)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        return self._scaled_datasets[scale]
+        return self.catalog(scale).dataset
 
     @property
     def specs(self):
-        return self.dataset.images[:: self.config.quick]
+        return self.catalog().specs[:: self.config.quick]
 
     def streams(self, subject: Subject) -> list[np.ndarray]:
-        """All grain streams of a subject (built once, retained)."""
-        if subject not in self._streams:
-            builder = cache_stream if subject == "caches" else image_stream
-            self._streams[subject] = [builder(spec) for spec in self.specs]
-        return self._streams[subject]
+        """All grain streams of a subject, via the catalog memo."""
+        catalog = self.catalog()
+        return [
+            catalog.grain_stream(spec.image_id, subject)
+            for spec in self.specs
+        ]
 
     def views(self, subject: Subject, block_size: int) -> list[BlockView]:
-        """Block views of a subject at one block size (not retained)."""
-        return [block_view(s, block_size) for s in self.streams(subject)]
+        """Block views of a subject at one block size, via the catalog."""
+        catalog = self.catalog()
+        return [
+            catalog.block_view(spec.image_id, block_size, subject)
+            for spec in self.specs
+        ]
 
     # -- estimators ----------------------------------------------------------------
 
@@ -120,8 +150,8 @@ class ExperimentContext:
         return self._metrics_memo[key]
 
     def drop_streams(self, subject: Subject) -> None:
-        """Release a subject's retained streams (memory relief)."""
-        self._streams.pop(subject, None)
+        """Release a subject's memoised streams (memory relief)."""
+        self.catalog().drop(subject)
 
 
 @lru_cache(maxsize=None)

@@ -212,12 +212,13 @@ def run(
         adopt_budget_bytes=adopt_budget_mb * MiB,
     )
     ctx = ctx or default_context()
-    dataset = ctx.dataset_at(config.scale)
-    n_images = storm_image_count(config, dataset)
+    catalog = ctx.catalog(config.scale)
+    dataset = catalog.dataset  # spec-level facade for the tally helpers
+    n_images = storm_image_count(config, catalog)
     sink: list = []
     report = boot_storm(
         config,
-        dataset=dataset,
+        dataset=catalog,
         trace_path=trace,
         placement=spec if policy != "full" else None,
         placement_sink=sink.append,

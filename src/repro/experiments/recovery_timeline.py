@@ -79,10 +79,10 @@ def run(
 
         config = replace(config, faults=FaultPlan.parse(DEFAULT_FAULTS))
     ctx = ctx or default_context()
-    dataset = ctx.dataset_at(config.scale)
+    catalog = ctx.catalog(config.scale)
     result = StormTimelineResult(
         config=config,
-        report=boot_storm(config, dataset=dataset, trace_path=trace_path),
+        report=boot_storm(config, dataset=catalog, trace_path=trace_path),
     )
     if metrics_path is not None:
         write_run_exports(metrics_path, result)

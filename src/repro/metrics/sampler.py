@@ -68,6 +68,6 @@ class Sampler:
     def _run(self):
         while True:
             self.scrape()
-            if self.engine.peek() is None:
+            if self.engine.drained:
                 return self.scrapes  # everything else settled: final snapshot
             yield self.engine.timeout(self.interval_s)

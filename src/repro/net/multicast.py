@@ -46,12 +46,19 @@ def multicast(
     if not receivers:
         return MulticastResult(n_bytes, 0, 0.0, 0)
     wire_bytes = int(n_bytes * loss_retransmit_factor)
-    slowest: LinkProfile = min(
-        [sender.link] + [r.link for r in receivers], key=lambda l: l.bytes_per_s
-    )
+    # a fleet usually shares one LinkProfile object; dedup by identity
+    # (keeping first-occurrence order, so ties resolve as before) instead
+    # of evaluating the bytes_per_s property once per receiver
+    links: dict[int, LinkProfile] = {id(sender.link): sender.link}
+    for r in receivers:
+        link = r.link
+        if id(link) not in links:
+            links[id(link)] = link
+    slowest: LinkProfile = min(links.values(), key=lambda l: l.bytes_per_s)
     duration = slowest.transfer_time(wire_bytes)
-    for receiver in receivers:
-        ledger.record(sender.name, receiver.name, n_bytes, purpose, duration)
+    ledger.record_fanout(
+        sender.name, [r.name for r in receivers], n_bytes, purpose, duration
+    )
     return MulticastResult(
         n_bytes=n_bytes,
         n_receivers=len(receivers),

@@ -85,7 +85,7 @@ class Node:
     link: LinkProfile = GBE_1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transfer:
     """One recorded byte movement."""
 
@@ -98,9 +98,19 @@ class Transfer:
 
 @dataclass
 class TransferLedger:
-    """Append-only record of all network transfers in an experiment."""
+    """Append-only record of all network transfers in an experiment.
+
+    Alongside the raw rows, :meth:`record` maintains running per-endpoint
+    sums keyed on ``(name, purpose)`` — a fleet-wide multicast appends
+    one row per receiver, so at 10k nodes the ledger holds millions of
+    rows and the Figure 18 queries must not rescan them per call.
+    """
 
     transfers: list[Transfer] = field(default_factory=list)
+    #: (dst, purpose) -> bytes; and (dst, None) -> bytes across purposes
+    _into: dict[tuple[str, str | None], int] = field(default_factory=dict)
+    _out_of: dict[tuple[str, str | None], int] = field(default_factory=dict)
+    _totals: dict[str | None, int] = field(default_factory=dict)
 
     def record(
         self, src: str, dst: str, n_bytes: int, purpose: str, duration_s: float = 0.0
@@ -109,41 +119,66 @@ class TransferLedger:
             raise NetworkError("negative transfer size")
         transfer = Transfer(src, dst, n_bytes, purpose, duration_s)
         self.transfers.append(transfer)
+        into, out_of, totals = self._into, self._out_of, self._totals
+        for key in ((dst, purpose), (dst, None)):
+            into[key] = into.get(key, 0) + n_bytes
+        for key in ((src, purpose), (src, None)):
+            out_of[key] = out_of.get(key, 0) + n_bytes
+        for key in (purpose, None):
+            totals[key] = totals.get(key, 0) + n_bytes
         return transfer
+
+    def record_fanout(
+        self,
+        src: str,
+        dsts: list[str],
+        n_bytes: int,
+        purpose: str,
+        duration_s: float = 0.0,
+    ) -> None:
+        """One sender, many receivers (a multicast): exactly the rows and
+        aggregates ``record`` would produce per receiver, batched — a
+        fleet-wide propagation is the ledger's hottest path at 10k nodes
+        and per-call overhead dominates it."""
+        if n_bytes < 0:
+            raise NetworkError("negative transfer size")
+        self.transfers.extend(
+            Transfer(src, dst, n_bytes, purpose, duration_s) for dst in dsts
+        )
+        into = self._into
+        for dst in dsts:
+            key = (dst, purpose)
+            into[key] = into.get(key, 0) + n_bytes
+            key = (dst, None)
+            into[key] = into.get(key, 0) + n_bytes
+        total = n_bytes * len(dsts)
+        out_of, totals = self._out_of, self._totals
+        for key in ((src, purpose), (src, None)):
+            out_of[key] = out_of.get(key, 0) + total
+        for key in (purpose, None):
+            totals[key] = totals.get(key, 0) + total
 
     # -- queries (Figure 18's metrics) ----------------------------------------
 
     def bytes_into(self, node_name: str, *, purpose: str | None = None) -> int:
-        return sum(
-            t.n_bytes
-            for t in self.transfers
-            if t.dst == node_name and (purpose is None or t.purpose == purpose)
-        )
+        return self._into.get((node_name, purpose), 0)
 
     def bytes_out_of(self, node_name: str, *, purpose: str | None = None) -> int:
-        return sum(
-            t.n_bytes
-            for t in self.transfers
-            if t.src == node_name and (purpose is None or t.purpose == purpose)
-        )
+        return self._out_of.get((node_name, purpose), 0)
 
     def total_bytes(self, *, purpose: str | None = None) -> int:
-        return sum(
-            t.n_bytes
-            for t in self.transfers
-            if purpose is None or t.purpose == purpose
-        )
+        return self._totals.get(purpose, 0)
 
     def compute_ingress_bytes(
         self, compute_nodes: list[Node] | list[str], *, purpose: str | None = None
     ) -> int:
         """Cumulative bytes received by compute nodes — Figure 18's y-axis."""
+        into = self._into
         names = {n.name if isinstance(n, Node) else n for n in compute_nodes}
-        return sum(
-            t.n_bytes
-            for t in self.transfers
-            if t.dst in names and (purpose is None or t.purpose == purpose)
-        )
+        return sum(into.get((name, purpose), 0) for name in names)
 
     def clear(self) -> None:
         self.transfers.clear()
+        self._into.clear()
+        self._out_of.clear()
+        self._totals.clear()

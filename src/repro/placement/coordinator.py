@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..common.errors import ConfigError
+from ..core.cluster import CCVOLUME
+from ..core.replica import apply_to_nodes
 from .directory import PlacementDirectory
 from .policy import (
     POLICY_NAMES,
@@ -127,8 +129,14 @@ class PlacementCoordinator:
             cluster.node(name) for name in assigned
             if cluster.node(name).online
         ]
-        for holder in online:
-            holder.ccvolume.write_file_virtual(cache_file, rows)
+        # holders sharing a replica (same hoard history) install once
+        apply_to_nodes(
+            getattr(cluster, "replicas", None),
+            online,
+            ("install", cache_file),
+            lambda pool: pool.dataset(CCVOLUME)
+            .write_file_virtual(cache_file, rows),
+        )
         result = seed_transfer(
             self.spec.transport,
             cluster.ledger,
@@ -146,10 +154,16 @@ class PlacementCoordinator:
 
     def drop_image(self, cluster, image_id: int, cache_file: str) -> None:
         """Deregistration: remove the cache from every holder ccVolume."""
-        for name in self.directory.holders(image_id):
-            node = cluster.node(name)
-            if node.ccvolume.has_file(cache_file):
-                node.ccvolume.delete_file(cache_file)
+        holders = [
+            cluster.node(name) for name in self.directory.holders(image_id)
+        ]
+        apply_to_nodes(
+            getattr(cluster, "replicas", None),
+            holders,
+            ("del", cache_file),
+            lambda pool: pool.dataset(CCVOLUME).delete_file(cache_file),
+            when=lambda pool: pool.dataset(CCVOLUME).has_file(cache_file),
+        )
         self.directory.drop_image(image_id)
         self._rows.pop(image_id, None)
 
@@ -198,8 +212,14 @@ class PlacementCoordinator:
         if rows is None:
             return False
         cache_file = f"cache-{image_id:05d}"
-        if not node.ccvolume.has_file(cache_file):
-            node.ccvolume.write_file_virtual(cache_file, rows)
+        apply_to_nodes(
+            getattr(cluster, "replicas", None),
+            [node],
+            ("install", cache_file),
+            lambda pool: pool.dataset(CCVOLUME)
+            .write_file_virtual(cache_file, rows),
+            when=lambda pool: not pool.dataset(CCVOLUME).has_file(cache_file),
+        )
         self.directory.adopt(node.name, image_id)
         self._adopted_by_node[node.name] = spent + size
         self.adoptions += 1
@@ -224,7 +244,14 @@ class PlacementCoordinator:
             rows = self._rows.get(image_id)
             if rows is None:
                 continue
-            node.ccvolume.write_file_virtual(cache_file, rows)
+            apply_to_nodes(
+                getattr(cluster, "replicas", None),
+                [node],
+                ("install", cache_file),
+                lambda pool, cache_file=cache_file, rows=rows: pool.dataset(
+                    CCVOLUME
+                ).write_file_virtual(cache_file, rows),
+            )
             size = self.directory.cache_bytes_of(image_id)
             duration = node.node.link.transfer_time(size)
             cluster.ledger.record(

@@ -24,13 +24,22 @@ Contention primitives (:class:`~repro.sim.resources.Resource`,
 
 from __future__ import annotations
 
-import heapq
+import os
 from typing import Any, Generator, Iterable
 
 from ..common.errors import SimulationError
 from ..common.rng import stream as rng_stream
+from .queueing import EventQueue, make_queue
 
 __all__ = ["Engine", "Event", "Interrupted", "Process", "all_of"]
+
+#: environment override for the default event-queue implementation
+QUEUE_ENV = "REPRO_SIM_QUEUE"
+
+#: tie-break draws are taken from the rng in blocks — one vectorised call
+#: per this many pushes. The block is consumed in draw order, so the
+#: sequence of tie-breaks is bit-identical to one scalar draw per push.
+_TIEBREAK_BLOCK = 1024
 
 
 class Interrupted(Exception):
@@ -183,15 +192,36 @@ def all_of(engine: "Engine", events: Iterable[Event], label: str | None = None) 
 
 
 class Engine:
-    """The event loop: clock + heap queue + process scheduler."""
+    """The event loop: clock + pluggable queue + process scheduler.
 
-    def __init__(self, *, seed: int | str = 0, trace: bool = False) -> None:
+    ``queue`` selects the :class:`~repro.sim.queueing.EventQueue`
+    implementation — ``"heap"`` (default) or ``"calendar"`` by name, an
+    instance for anything custom; the ``REPRO_SIM_QUEUE`` environment
+    variable overrides the default for a whole run. The total event order
+    ``(time, seeded tie-break, sequence)`` is a property of the engine,
+    not the queue, so every implementation replays the same schedule
+    bit-for-bit at equal seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int | str = 0,
+        trace: bool = False,
+        queue: str | EventQueue | None = None,
+    ) -> None:
         self.seed = seed
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event, Any]] = []
+        if queue is None:
+            queue = os.environ.get(QUEUE_ENV) or "heap"
+        self._queue: EventQueue = (
+            make_queue(queue) if isinstance(queue, str) else queue
+        )
         self._seq = 0
         #: dedicated tie-break stream: same seed -> same total event order
         self._tiebreak = rng_stream("sim-engine-tiebreak", seed)
+        self._tiebreak_block: list[int] = []
+        self._tiebreak_next = 0
         self.trace: list[tuple[float, str]] | None = [] if trace else None
 
     # -- clock --------------------------------------------------------------------
@@ -235,28 +265,55 @@ class Engine:
 
     def _push(self, event: Event, value: Any, delay: float) -> None:
         self._seq += 1
-        tiebreak = int(self._tiebreak.integers(0, 1 << 62))
-        heapq.heappush(self._heap, (self._now + delay, tiebreak, self._seq, event, value))
+        if self._tiebreak_next >= len(self._tiebreak_block):
+            self._tiebreak_block = self._tiebreak.integers(
+                0, 1 << 62, size=_TIEBREAK_BLOCK
+            ).tolist()
+            self._tiebreak_next = 0
+        tiebreak = self._tiebreak_block[self._tiebreak_next]
+        self._tiebreak_next += 1
+        self._queue.push((self._now + delay, tiebreak, self._seq, event, value))
 
     # -- the loop -----------------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
         """Drain the queue (or stop once the clock would pass ``until``);
-        returns the final simulated time."""
-        while self._heap:
-            time, _tiebreak, _seq, event, value = self._heap[0]
+        returns the final simulated time. :attr:`drained` afterwards tells
+        whether the queue emptied or the run stopped at ``until`` with
+        events still pending."""
+        queue = self._queue
+        trace = self.trace
+        while len(queue):
+            time = queue.peek_time()
             if until is not None and time > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._heap)
+            time, _tiebreak, _seq, event, value = queue.pop()
             if time < self._now:
                 raise SimulationError("event queue went backwards in time")
             self._now = time
-            if self.trace is not None and event.label is not None:
-                self.trace.append((time, event.label))
+            if trace is not None and event.label is not None:
+                trace.append((time, event.label))
             event._fire(value)
         return self._now
 
+    @property
+    def drained(self) -> bool:
+        """True when no event remains queued — :meth:`run` ran out of
+        work rather than stopping at an ``until`` horizon. Inside a
+        running process it answers "is anything else pending?", which is
+        what periodic re-arming loops (the metrics sampler) key off."""
+        return len(self._queue) == 0
+
+    @property
+    def queue_kind(self) -> str:
+        """Config-style name of the active queue implementation
+        (``"heap"``/``"calendar"``; a custom queue reports its class)."""
+        name = type(self._queue).__name__
+        if name.endswith("EventQueue"):
+            return name[: -len("EventQueue")].lower()
+        return name
+
     def peek(self) -> float | None:
         """Time of the next queued event, or None when drained."""
-        return self._heap[0][0] if self._heap else None
+        return self._queue.peek_time()

@@ -37,36 +37,33 @@ import numpy as np
 
 from ..common.errors import ConfigError
 from ..common.report import ReportBase, dumps_canonical, to_jsonable
-from ..experiments import ExperimentConfig, ExperimentContext, registry
+from ..experiments import ExperimentContext, registry
+from ..experiments.context import _shared_context
 from .spec import SweepPoint, SweepSpec
 
 __all__ = ["SweepResult", "load_manifest", "run_sweep"]
 
 #: per-process sweep state: the (scale denominator, quick) pair shipped by
-#: the parent, and the lazily built context every point in this process
-#: shares. Module-level because ProcessPoolExecutor initializers and task
-#: functions must be picklable top-level callables.
+#: the parent. Module-level because ProcessPoolExecutor initializers and
+#: task functions must be picklable top-level callables. The context
+#: itself is NOT stored here: it lives in the process-wide
+#: ``_shared_context`` memo, keyed on the catalog config, so a worker (or
+#: the inline ``--workers 1`` path) that runs several sweeps under one
+#: configuration keeps its warm catalog — re-running ``_init_worker`` with
+#: the same knobs no longer discards synthesized streams.
 _WORKER_STATE: dict[str, Any] = {}
 
 
 def _init_worker(scale_denominator: float, quick: int) -> None:
     """Pool initializer: record the context knobs, build nothing yet."""
-    _WORKER_STATE.clear()
     _WORKER_STATE["config"] = (scale_denominator, quick)
 
 
 def _worker_context() -> ExperimentContext:
-    """This process' own memoised context (datasets build on first use)."""
-    ctx = _WORKER_STATE.get("ctx")
-    if ctx is None:
-        scale_denominator, quick = _WORKER_STATE.get("config", (32.0, 1))
-        ctx = ExperimentContext(
-            ExperimentConfig(
-                scale=1.0 / scale_denominator, quick=max(1, quick)
-            )
-        )
-        _WORKER_STATE["ctx"] = ctx
-    return ctx
+    """This process' context for the shipped knobs (memoised per config;
+    datasets and streams build lazily on first use)."""
+    scale_denominator, quick = _WORKER_STATE.get("config", (32.0, 1))
+    return _shared_context(float(scale_denominator), max(1, int(quick)))
 
 
 def _run_point(payload: tuple[int, str, dict]) -> tuple[int, dict]:

@@ -8,6 +8,13 @@ dataset totals at a configurable scale.
 """
 
 from .calibration import make_estimator
+from .catalog import (
+    DEFAULT_BUDGET_BYTES,
+    CatalogConfig,
+    ImageCatalog,
+    LazyImageCatalog,
+    as_catalog,
+)
 from .content import (
     GRAIN_SIZE,
     N_CLASSES,
@@ -33,13 +40,18 @@ __all__ = [
     "PAPER_TOTALS",
     "AzureCommunityDataset",
     "BlockView",
+    "CatalogConfig",
     "ContentClass",
+    "DEFAULT_BUDGET_BYTES",
     "DatasetConfig",
+    "ImageCatalog",
     "ImageSpec",
+    "LazyImageCatalog",
     "MutationProfile",
     "OSFamily",
     "PoolKind",
     "Release",
+    "as_catalog",
     "block_view",
     "cache_stream",
     "class_of",

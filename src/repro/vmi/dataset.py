@@ -85,6 +85,18 @@ class AzureCommunityDataset:
     def __post_init__(self) -> None:
         self.images = _build_images(self.config)
 
+    @classmethod
+    def from_images(
+        cls, config: DatasetConfig, images: list[ImageSpec]
+    ) -> "AzureCommunityDataset":
+        """Wrap an already-built spec list (no re-synthesis) — the bridge
+        from :class:`~repro.vmi.catalog.LazyImageCatalog` back to eager
+        call sites. The list is shared, not copied."""
+        dataset = object.__new__(cls)
+        dataset.config = config
+        dataset.images = images
+        return dataset
+
     def __iter__(self) -> Iterator[ImageSpec]:
         return iter(self.images)
 

@@ -67,7 +67,14 @@ from ..obs import (
     write_chrome_trace,
 )
 from ..sim import Engine, Event, HistogramStats, Interrupted, Pipe, Resource, Timeline
-from ..vmi import AzureCommunityDataset, DatasetConfig, make_estimator
+from ..vmi import (
+    AzureCommunityDataset,
+    DatasetConfig,
+    ImageCatalog,
+    LazyImageCatalog,
+    as_catalog,
+    make_estimator,
+)
 from ..zfs import AdaptiveReplacementCache
 from ..placement import (
     TRANSPORT_NAMES,
@@ -107,6 +114,12 @@ LATENCY_BUCKETS = (
 )
 #: ring capacity of the per-run time-series store (samples per series)
 METRICS_RING = 4096
+#: per-node metric series are exported for at most this many compute nodes
+#: (the paper's 64-node cluster): beyond it, counters fold into a "_other"
+#: series (fleet sums stay exact) and per-node gauges are replaced by one
+#: "_fleet" aggregate. Without the cap a 10k-node storm is quadratic in the
+#: sampler — O(nodes) series per scrape times an O(nodes) horizon.
+METRICS_NODE_DETAIL = 64
 
 
 def _disk_offset(size: int, *key) -> int:
@@ -164,7 +177,7 @@ class TimedSquirrel:
     def __init__(
         self,
         squirrel: Squirrel,
-        dataset: AzureCommunityDataset,
+        dataset: AzureCommunityDataset | ImageCatalog,
         engine: Engine,
         timeline: Timeline,
         *,
@@ -174,13 +187,14 @@ class TimedSquirrel:
         arc_bytes_per_node: int = ARC_BYTES_PER_NODE,
     ) -> None:
         self.squirrel = squirrel
-        self.dataset = dataset
+        #: eager datasets are adapted (specs shared, nothing recomputed)
+        self.catalog = as_catalog(dataset)
         self.engine = engine
         self.timeline = timeline
         self.tracer = tracer or SpanTracer(engine)
         self.metrics = metrics or MetricsRegistry()
         #: timed transfers replay the paper-scale byte counts
-        self.scale_up = dataset.scaled_up
+        self.scale_up = self.catalog.scaled_up
         cluster = squirrel.cluster
         self.nic: dict[str, Pipe] = {
             node.name: node.node.link.make_pipe(
@@ -234,10 +248,18 @@ class TimedSquirrel:
         simulation state — ARC geometry, DDT footprint, pipe utilisation —
         at scrape time without the hot paths pushing updates. Scraping never
         mutates anything, so metrics cannot perturb byte accounting.
+
+        Fleets larger than :data:`METRICS_NODE_DETAIL` export per-node
+        series for the first ``METRICS_NODE_DETAIL`` nodes only; the rest
+        share a "_other" counter child and a "_fleet" aggregate gauge, so
+        the scrape cost is bounded while fleet-wide sums stay exact.
         """
         m = self.metrics
         cluster = self.squirrel.cluster
-        names = [node.name for node in cluster.compute]
+        all_names = [node.name for node in cluster.compute]
+        names = all_names[:METRICS_NODE_DETAIL]
+        self._node_detail = frozenset(names)
+        self._capped = len(all_names) > len(names)
         self._m_boots = m.counter(
             "squirrel_boots_total", "Completed VM boots", labels=("node",)
         )
@@ -314,7 +336,7 @@ class TimedSquirrel:
             "Offline-propagation catch-up latency",
             buckets=LATENCY_BUCKETS,
         )
-        for name in names:
+        for name in names + (["_other"] if self._capped else []):
             for family in (
                 self._m_boots, self._m_cache_hits, self._m_cold,
                 self._m_cold_bytes, self._m_interrupts, self._m_arc_misses,
@@ -358,17 +380,62 @@ class TimedSquirrel:
             "Pool data bytes allocated after dedup",
             labels=("node", "tier"),
         )
-        pools = [(node.name, "compute", node.pool) for node in cluster.compute]
-        pools.append((cluster.storage.pool.name, "storage", cluster.storage.pool))
-        for name, tier, pool in pools:
-            ddt_entries.labels(node=name, tier=tier).set_function(
-                lambda p=pool: float(p.ddt.entry_count)
+        # compute gauges read through the node: replica sharing repoints
+        # ``node.pool`` to a different ZPool object on copy-on-write splits,
+        # so binding the pool at instrument time would scrape stale state
+        for node in cluster.compute[:METRICS_NODE_DETAIL]:
+            ddt_entries.labels(node=node.name, tier="compute").set_function(
+                lambda n=node: float(n.pool.ddt.entry_count)
             )
-            ddt_core.labels(node=name, tier=tier).set_function(
-                lambda p=pool: float(p.ddt.in_core_bytes)
+            ddt_core.labels(node=node.name, tier="compute").set_function(
+                lambda n=node: float(n.pool.ddt.in_core_bytes)
             )
-            pool_data.labels(node=name, tier=tier).set_function(
-                lambda p=pool: float(p.data_bytes)
+            pool_data.labels(node=node.name, tier="compute").set_function(
+                lambda n=node: float(n.pool.data_bytes)
+            )
+        spool = cluster.storage.pool
+        ddt_entries.labels(node=spool.name, tier="storage").set_function(
+            lambda p=spool: float(p.ddt.entry_count)
+        )
+        ddt_core.labels(node=spool.name, tier="storage").set_function(
+            lambda p=spool: float(p.ddt.in_core_bytes)
+        )
+        pool_data.labels(node=spool.name, tier="storage").set_function(
+            lambda p=spool: float(p.data_bytes)
+        )
+        if self._capped:
+            # one whole-fleet aggregate replaces the dropped per-node gauge
+            # series; the four sums share a single per-timestamp sweep so a
+            # scrape walks the fleet once, not once per gauge
+            sweep_cache: dict = {"now": None, "vals": (0.0, 0.0, 0.0, 0.0)}
+
+            def _fleet(idx, cache=sweep_cache, nodes=cluster.compute,
+                       arcs=self.arc, engine=self.engine):
+                if cache["now"] != engine.now:
+                    entries = core = data = 0.0
+                    for node in nodes:
+                        pool = node.pool
+                        entries += pool.ddt.entry_count
+                        core += pool.ddt.in_core_bytes
+                        data += pool.data_bytes
+                    resident = float(
+                        sum(a.resident_bytes for a in arcs.values())
+                    )
+                    cache["now"] = engine.now
+                    cache["vals"] = (entries, core, data, resident)
+                return cache["vals"][idx]
+
+            ddt_entries.labels(node="_fleet", tier="compute").set_function(
+                lambda: _fleet(0)
+            )
+            ddt_core.labels(node="_fleet", tier="compute").set_function(
+                lambda: _fleet(1)
+            )
+            pool_data.labels(node="_fleet", tier="compute").set_function(
+                lambda: _fleet(2)
+            )
+            arc_resident.labels(node="_fleet").set_function(
+                lambda: _fleet(3)
             )
         utilization = m.gauge(
             "net_pipe_utilization",
@@ -385,7 +452,10 @@ class TimedSquirrel:
             "Lifetime bytes admitted to a link (paper-scale)",
             labels=("link", "tier"),
         )
-        for tier, pipes in (("nic", self.nic), ("brick", self.brick)):
+        nic_detail = {
+            name: self.nic[name] for name in names if name in self.nic
+        }
+        for tier, pipes in (("nic", nic_detail), ("brick", self.brick)):
             for name, pipe in pipes.items():
                 utilization.labels(link=name, tier=tier).set_function(
                     lambda p=pipe: p.busy_fraction()
@@ -459,7 +529,7 @@ class TimedSquirrel:
                 "Paper-scale receiver-ingress bytes moved by seeding",
                 labels=("transport",),
             )
-            for name in names:
+            for name in names + (["_other"] if self._capped else []):
                 self._m_redirects.labels(node=name)
                 self._m_adoptions.labels(node=name)
             for transport in TRANSPORT_NAMES:
@@ -486,6 +556,12 @@ class TimedSquirrel:
                 "placement_images_tracked",
                 "Images tracked by the placement directory",
             ).set_function(lambda d=directory: float(len(d.images())))
+
+    def _node_label(self, node_name: str) -> str:
+        """Metric label for a compute node: its own name inside the
+        per-node detail set, the shared "_other" child beyond it (fleet
+        totals across children stay exact either way)."""
+        return node_name if node_name in self._node_detail else "_other"
 
     # -- fault-injector queries ----------------------------------------------------
 
@@ -567,14 +643,14 @@ class TimedSquirrel:
                     if first_fail is None:
                         first_fail = engine.now
                     self.timeline.count("boot_interrupts")
-                    self._m_interrupts.labels(node=node_name).inc()
+                    self._m_interrupts.labels(node=self._node_label(node_name)).inc()
         finally:
             self._inflight[node_name].pop(handle, None)
         self.timeline.count("cache_hits" if cache_hit else "cold_boots")
         self.timeline.observe("boot_latency_s", engine.now - t0)
-        self._m_boots.labels(node=node_name).inc()
+        self._m_boots.labels(node=self._node_label(node_name)).inc()
         (self._m_cache_hits if cache_hit else self._m_cold).labels(
-            node=node_name
+            node=self._node_label(node_name)
         ).inc()
         self._m_boot_latency.observe(engine.now - t0)
         bt.att.observe(self.timeline)
@@ -592,7 +668,7 @@ class TimedSquirrel:
         if force_cold:
             # the "w/o caches" baseline: the boot set crosses the network
             # even when a cache exists (Figure 18's comparison series)
-            spec = self.dataset.images[image_id]
+            spec = self.catalog.spec(image_id)
             moved, plan = self.squirrel.cluster.storage.gluster.read_with_plan(
                 f"vmi-{image_id:05d}", 0, cold_read_bytes(spec),
                 reader=node_name, purpose="boot-read",
@@ -657,19 +733,20 @@ class TimedSquirrel:
         self.timeline.count(
             "arc_evictions", delta["t1_evictions"] + delta["t2_evictions"]
         )
-        self._m_arc_hits.labels(node=node_name, tier="t1").inc(delta["t1_hits"])
-        self._m_arc_hits.labels(node=node_name, tier="t2").inc(delta["t2_hits"])
-        self._m_arc_ghosts.labels(node=node_name, tier="b1").inc(
+        node_label = self._node_label(node_name)
+        self._m_arc_hits.labels(node=node_label, tier="t1").inc(delta["t1_hits"])
+        self._m_arc_hits.labels(node=node_label, tier="t2").inc(delta["t2_hits"])
+        self._m_arc_ghosts.labels(node=node_label, tier="b1").inc(
             delta["b1_ghost_hits"]
         )
-        self._m_arc_ghosts.labels(node=node_name, tier="b2").inc(
+        self._m_arc_ghosts.labels(node=node_label, tier="b2").inc(
             delta["b2_ghost_hits"]
         )
-        self._m_arc_misses.labels(node=node_name).inc(delta["misses"])
-        self._m_arc_evictions.labels(node=node_name, tier="t1").inc(
+        self._m_arc_misses.labels(node=node_label).inc(delta["misses"])
+        self._m_arc_evictions.labels(node=node_label, tier="t1").inc(
             delta["t1_evictions"]
         )
-        self._m_arc_evictions.labels(node=node_name, tier="t2").inc(
+        self._m_arc_evictions.labels(node=node_label, tier="t2").inc(
             delta["t2_evictions"]
         )
         self.timeline.gauge(f"arc_p:{node_name}", arc.p)
@@ -718,7 +795,7 @@ class TimedSquirrel:
         node's NIC, then lands on the local disk (copy-on-read)."""
         gluster = self.squirrel.cluster.storage.gluster
         total = int(self.scale_up(moved))
-        self._m_cold_bytes.labels(node=node_name).inc(total)
+        self._m_cold_bytes.labels(node=self._node_label(node_name)).inc(total)
         fetch = bt.child(
             "gluster.fetch", n_bytes=total, degraded=gluster.degraded
         )
@@ -767,7 +844,7 @@ class TimedSquirrel:
         total = int(self.scale_up(outcome.network_bytes))
         self.timeline.count("peer_redirects")
         self.timeline.count("redirect_bytes", outcome.network_bytes)
-        self._m_redirects.labels(node=node_name).inc()
+        self._m_redirects.labels(node=self._node_label(node_name)).inc()
         self._m_redirect_bytes.inc(total)
         redirect = bt.child(
             "placement.redirect", peer=peer_name, n_bytes=total
@@ -804,7 +881,7 @@ class TimedSquirrel:
                     n_bytes=total,
                 )
                 self.timeline.count("adoptions")
-                self._m_adoptions.labels(node=node_name).inc()
+                self._m_adoptions.labels(node=self._node_label(node_name)).inc()
                 self._m_adopted_bytes.inc(total)
                 adopt.end()
         except Interrupted:
@@ -967,7 +1044,7 @@ class TimedSquirrel:
 class _Rig:
     """One scenario's fully-wired simulation: cluster, engine, telemetry."""
 
-    dataset: AzureCommunityDataset
+    catalog: ImageCatalog
     squirrel: Squirrel
     engine: Engine
     timeline: Timeline
@@ -975,6 +1052,11 @@ class _Rig:
     metrics: MetricsRegistry
     store: TimeSeriesStore
     sampler: Sampler
+
+    @property
+    def dataset(self) -> AzureCommunityDataset:
+        """Eager-dataset facade over the catalog's (shared) spec list."""
+        return self.catalog.dataset
 
     def metrics_block(self) -> dict:
         """The canonical metrics block for this run (embed in the report)."""
@@ -996,29 +1078,29 @@ def _build_rig(
     seed,
     trace: bool,
     metrics_interval_s: float = 5.0,
-    dataset: AzureCommunityDataset | None = None,
+    dataset: AzureCommunityDataset | ImageCatalog | None = None,
     estimator=None,
     placement_factory=None,
 ) -> _Rig:
-    dataset = dataset or AzureCommunityDataset(DatasetConfig(scale=scale))
+    catalog = as_catalog(dataset) or LazyImageCatalog(DatasetConfig(scale=scale))
     cluster = IaaSCluster.build(
         n_compute=n_compute, n_storage=n_storage, block_size=block_size, link=link
     )
     estimator = estimator or make_estimator(
         "gzip6", (block_size,), samples_per_point=2
     )
-    squirrel = Squirrel(cluster=cluster, estimator=estimator)
+    squirrel = Squirrel(cluster=cluster, estimator=estimator, catalog=catalog)
     if placement_factory is not None:
         # attach before TimedSquirrel so _instrument sees the coordinator
         squirrel.placement = placement_factory(squirrel)
     engine = Engine(seed=seed, trace=trace)
     timeline = Timeline(engine)
     metrics = MetricsRegistry()
-    timed = TimedSquirrel(squirrel, dataset, engine, timeline, metrics=metrics)
+    timed = TimedSquirrel(squirrel, catalog, engine, timeline, metrics=metrics)
     store = TimeSeriesStore(capacity=METRICS_RING)
     sampler = Sampler(engine, metrics, store, interval_s=metrics_interval_s)
     sampler.start()
-    return _Rig(dataset, squirrel, engine, timeline, timed, metrics, store, sampler)
+    return _Rig(catalog, squirrel, engine, timeline, timed, metrics, store, sampler)
 
 
 # -- boot storm -----------------------------------------------------------------------
@@ -1148,15 +1230,17 @@ def _placement_factory(config: StormConfig, spec: PlacementSpec, n_images: int):
 
 
 def storm_image_count(
-    config: StormConfig, dataset: AzureCommunityDataset
+    config: StormConfig, dataset: AzureCommunityDataset | ImageCatalog
 ) -> int:
     """Images the storm registers: the arrival trace's highest image id + 1.
 
-    Both storm sides register ``dataset.images[:storm_image_count(...)]``,
+    Both storm sides register the first ``storm_image_count(...)`` specs,
     so analytic per-image accounting (e.g. the placement experiment's
-    full-replication reference) must use this count, not the VM count."""
+    full-replication reference) must use this count, not the VM count.
+    ``dataset`` may be an eager dataset or a catalog (only its length is
+    needed, so no streams materialise)."""
     plan = _storm_trace(
-        config, min(config.n_nodes * config.vms_per_node, len(dataset.images))
+        config, min(config.n_nodes * config.vms_per_node, len(dataset))
     )
     return max(image_id for _, _, image_id in plan) + 1
 
@@ -1165,7 +1249,7 @@ def _run_storm_side(
     config: StormConfig,
     *,
     with_caches: bool,
-    dataset: AzureCommunityDataset,
+    catalog: ImageCatalog,
     estimator,
     plan,
     placement: PlacementSpec | None = None,
@@ -1181,7 +1265,7 @@ def _run_storm_side(
         seed=derive_seed("storm", config.seed, "squirrel" if with_caches else "baseline"),
         trace=config.trace,
         metrics_interval_s=config.metrics_interval_s,
-        dataset=dataset,
+        dataset=catalog,
         estimator=estimator,
         placement_factory=(
             _placement_factory(config, placement, n_images)
@@ -1194,11 +1278,11 @@ def _run_storm_side(
     )
     gluster = squirrel.cluster.storage.gluster
     if with_caches:
-        for spec in dataset.images[:n_images]:
+        for spec in catalog.specs[:n_images]:
             squirrel.register(spec)  # setup: instant, before the storm
     else:
         # the baseline never registers: only the base VMIs exist on the FS
-        for spec in dataset.images[:n_images]:
+        for spec in catalog.specs[:n_images]:
             gluster.create_file(f"vmi-{spec.image_id:05d}", spec.nonzero_bytes)
     squirrel.cluster.ledger.clear()
     if config.faults is not None:
@@ -1237,7 +1321,7 @@ def _run_storm_side(
 def boot_storm(
     config: StormConfig = StormConfig(),
     *,
-    dataset: AzureCommunityDataset | None = None,
+    dataset: AzureCommunityDataset | ImageCatalog | None = None,
     estimator=None,
     trace_path=None,
     placement: PlacementSpec | None = None,
@@ -1259,17 +1343,21 @@ def boot_storm(
     """
     if config.n_nodes < 1 or config.vms_per_node < 1:
         raise ConfigError("storm needs at least one node and one VM")
-    dataset = dataset or AzureCommunityDataset(DatasetConfig(scale=config.scale))
+    # one catalog for both sides: they register the same specs, so the
+    # Squirrel side's cache views come out of the shared memo for free
+    catalog = as_catalog(dataset) or LazyImageCatalog(
+        DatasetConfig(scale=config.scale)
+    )
     estimator = estimator or make_estimator(
         "gzip6", (config.block_size,), samples_per_point=2
     )
-    n_images = len(dataset.images)
+    n_images = len(catalog)
     plan = _storm_trace(config, min(config.n_nodes * config.vms_per_node, n_images))
     sides = {}
     tracers = {}
     for with_caches in (True, False):
         side, tracer = _run_storm_side(
-            config, with_caches=with_caches, dataset=dataset,
+            config, with_caches=with_caches, catalog=catalog,
             estimator=estimator, plan=plan, placement=placement,
             placement_sink=placement_sink,
         )

@@ -37,7 +37,7 @@ class TestContext:
     def test_streams_cached(self, ctx):
         first = ctx.streams("caches")
         second = ctx.streams("caches")
-        assert first is second
+        assert all(a is b for a, b in zip(first, second))
 
     def test_metrics_memoised(self, ctx):
         first = ctx.metrics("caches", 4096)
@@ -46,8 +46,14 @@ class TestContext:
 
     def test_drop_streams(self, ctx):
         ctx.streams("caches")
+        catalog = ctx.catalog()
+        assert catalog.resident_bytes > 0
         ctx.drop_streams("caches")
-        assert "caches" not in ctx._streams  # noqa: SLF001
+        assert not any(key[0] == "caches" for key in catalog._memo)  # noqa: SLF001
+
+    def test_dataset_at_deprecated_but_equivalent(self, ctx):
+        dataset = ctx.dataset_at(ctx.config.scale)  # may or may not warn
+        assert dataset.images is ctx.catalog().specs
 
     def test_views_not_retained(self, ctx):
         views = ctx.views("caches", 8192)

@@ -376,6 +376,52 @@ class TestStormMetrics:
         with pytest.raises(ConfigError):
             summarize_path(tmp_path / "nope")
 
+    def test_node_detail_cap_folds_large_fleets(self):
+        from repro.workload.scenarios import METRICS_NODE_DETAIL
+
+        n = METRICS_NODE_DETAIL + 6
+        report = boot_storm(
+            _storm_config(n_nodes=n, vms_per_node=1, faults=None)
+        )
+        side = report.squirrel
+        by_name = {f["name"]: f for f in side.metrics["instruments"]}
+        boot_nodes = {
+            s["labels"]["node"]
+            for s in by_name["squirrel_boots_total"]["samples"]
+        }
+        # exactly the detail set plus the fold child — never one series
+        # per node of a large fleet
+        assert len(boot_nodes) == METRICS_NODE_DETAIL + 1
+        assert "_other" in boot_nodes
+        # fleet totals stay exact across the fold
+        boots = sum(
+            s["value"] for s in by_name["squirrel_boots_total"]["samples"]
+        )
+        assert boots == side.boots == n
+        other = next(
+            s for s in by_name["squirrel_boots_total"]["samples"]
+            if s["labels"]["node"] == "_other"
+        )
+        assert other["value"] == n - METRICS_NODE_DETAIL
+        # dropped per-node gauges are replaced by one _fleet aggregate
+        ddt_nodes = {
+            s["labels"]["node"]
+            for s in by_name["zfs_ddt_entries"]["samples"]
+        }
+        assert "_fleet" in ddt_nodes
+        assert len(ddt_nodes) == METRICS_NODE_DETAIL + 2  # detail+storage+fleet
+
+    def test_node_detail_cap_leaves_small_fleets_alone(self, storm_report):
+        by_name = {
+            f["name"]: f
+            for f in storm_report.squirrel.metrics["instruments"]
+        }
+        nodes = {
+            s["labels"]["node"]
+            for s in by_name["squirrel_boots_total"]["samples"]
+        }
+        assert nodes == {f"compute{i}" for i in range(4)}
+
 
 # -- promoted experiments -------------------------------------------------------------
 

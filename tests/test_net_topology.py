@@ -75,3 +75,26 @@ class TestLedger:
         ledger.record("a", "b", 10, "x")
         ledger.clear()
         assert ledger.total_bytes() == 0
+
+    def test_fanout_matches_per_receiver_record(self):
+        # the batched path a 10k-node multicast takes must be
+        # indistinguishable from per-receiver record() calls
+        fanout, scalar = TransferLedger(), TransferLedger()
+        dsts = [f"c{i}" for i in range(5)]
+        fanout.record_fanout("s1", dsts, 1000, "cache-propagation", 0.25)
+        for dst in dsts:
+            scalar.record("s1", dst, 1000, "cache-propagation", 0.25)
+        assert fanout.transfers == scalar.transfers
+        assert fanout.bytes_out_of("s1") == scalar.bytes_out_of("s1") == 5000
+        for dst in dsts:
+            assert fanout.bytes_into(dst) == scalar.bytes_into(dst)
+            assert fanout.bytes_into(
+                dst, purpose="cache-propagation"
+            ) == scalar.bytes_into(dst, purpose="cache-propagation")
+        assert fanout.total_bytes() == scalar.total_bytes()
+        assert fanout.total_bytes(purpose="cache-propagation") == 5000
+
+    def test_fanout_negative_rejected(self):
+        ledger = TransferLedger()
+        with pytest.raises(NetworkError):
+            ledger.record_fanout("a", ["b"], -1, "x")

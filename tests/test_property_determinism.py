@@ -68,3 +68,58 @@ class TestStormDeterminism:
         first = boot_storm(StormConfig(seed=11, **SMALL_STORM))
         second = boot_storm(StormConfig(seed=12, **SMALL_STORM))
         assert first.squirrel.summary != second.squirrel.summary
+
+
+class TestLazyCatalogEquivalence:
+    """The lazy catalog must be invisible in results: a storm, a placement
+    run, and a figure experiment fed an eager dataset, a lazy catalog, or
+    the default (internally lazy) path serialise byte-identically."""
+
+    def test_storm_lazy_equals_eager_equals_default(self):
+        from repro.common.report import dumps_canonical
+        from repro.vmi import AzureCommunityDataset, DatasetConfig, LazyImageCatalog
+
+        config = StormConfig(seed=5, **SMALL_STORM)
+        eager = AzureCommunityDataset(DatasetConfig(scale=config.scale))
+        lazy = LazyImageCatalog(DatasetConfig(scale=config.scale))
+        reports = [
+            boot_storm(config, dataset=eager),
+            boot_storm(config, dataset=lazy),
+            boot_storm(config),
+        ]
+        payloads = [dumps_canonical(r.to_dict()) for r in reports]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_placement_storm_lazy_equals_eager_context(self):
+        from repro.common.report import dumps_canonical
+        from repro.experiments import ExperimentConfig, ExperimentContext
+        from repro.experiments import placement_storm
+
+        kwargs = dict(
+            nodes=4, vms_per_node=2, seed=7, policy="top_k", top_k=2
+        )
+        a = placement_storm.run(ctx=ExperimentContext(ExperimentConfig()), **kwargs)
+        b = placement_storm.run(ctx=ExperimentContext(ExperimentConfig()), **kwargs)
+        assert dumps_canonical(a.to_dict()) == dumps_canonical(b.to_dict())
+
+    def test_figure_metrics_lazy_equals_inline_synthesis(self):
+        from repro.analysis import dataset_metrics
+        from repro.experiments import ExperimentConfig, ExperimentContext
+        from repro.vmi import (
+            AzureCommunityDataset,
+            DatasetConfig,
+            block_view,
+            cache_stream,
+        )
+
+        scale = 1 / 2048
+        ctx = ExperimentContext(ExperimentConfig(scale=scale, quick=4,
+                                                 calibration_samples=2))
+        lazy = ctx.metrics("caches", 65536)
+        eager = AzureCommunityDataset(DatasetConfig(scale=scale))
+        views = [
+            block_view(cache_stream(spec), 65536)
+            for spec in eager.images[::4]
+        ]
+        inline = dataset_metrics(views, ctx.estimator("gzip6", (65536,)))
+        assert lazy == inline

@@ -1,0 +1,167 @@
+"""Tests for the pluggable event queue: heap vs calendar equivalence.
+
+The engine's determinism contract is a total order on (time, seeded
+tiebreak, seq). Any :class:`~repro.sim.EventQueue` implementation must pop
+entries in exactly that order — so a calendar queue and the binary heap
+must produce byte-identical simulations, which is what lets the fast core
+be swapped in under the pinned experiments.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CalendarEventQueue,
+    Engine,
+    EventQueue,
+    HeapEventQueue,
+    Pipe,
+    Resource,
+    make_queue,
+    QUEUE_KINDS,
+)
+
+
+def drain(queue) -> list[tuple]:
+    out = []
+    while len(queue):
+        out.append(queue.pop())
+    return out
+
+
+class TestQueueContract:
+    def test_kinds_and_factory(self):
+        assert set(QUEUE_KINDS) == {"heap", "calendar"}
+        assert isinstance(make_queue("heap"), HeapEventQueue)
+        assert isinstance(make_queue("calendar"), CalendarEventQueue)
+        with pytest.raises(Exception):
+            make_queue("splay")
+
+    def test_both_satisfy_protocol(self):
+        for kind in QUEUE_KINDS:
+            assert isinstance(make_queue(kind), EventQueue)
+
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+                st.integers(0, 2**62),
+                st.integers(0, 2**20),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_calendar_matches_heap_total_order(self, entries):
+        heap, cal = make_queue("heap"), make_queue("calendar")
+        for i, (time, tiebreak, seq) in enumerate(entries):
+            key = (time, tiebreak, seq, i)
+            heap.push(key)
+            cal.push(key)
+        assert drain(cal) == drain(heap)
+
+    @given(
+        times=st.lists(
+            st.sampled_from([0.0, 0.5, 1.0, 1.0, 1.0, 2.5]), max_size=64
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_heavy_ties_pop_in_key_order(self, times):
+        cal = make_queue("calendar")
+        for i, time in enumerate(times):
+            cal.push((time, i * 7919 % 13, i))
+        assert drain(cal) == sorted(
+            (time, i * 7919 % 13, i) for i, time in enumerate(times)
+        )
+
+    def test_interleaved_push_pop(self):
+        heap, cal = make_queue("heap"), make_queue("calendar")
+        feed = [(float(i % 5), i) for i in range(40)]
+        out_h, out_c = [], []
+        for j, key in enumerate(feed):
+            heap.push(key)
+            cal.push(key)
+            if j % 3 == 2:
+                out_h.append(heap.pop())
+                out_c.append(cal.pop())
+        out_h.extend(drain(heap))
+        out_c.extend(drain(cal))
+        assert out_c == out_h
+
+    def test_peek_time(self):
+        for kind in QUEUE_KINDS:
+            queue = make_queue(kind)
+            assert queue.peek_time() is None
+            queue.push((3.0, 0, 0))
+            queue.push((1.0, 0, 1))
+            assert queue.peek_time() == 1.0
+            queue.pop()
+            assert queue.peek_time() == 3.0
+
+    def test_calendar_handles_infinite_times(self):
+        cal = make_queue("calendar")
+        cal.push((float("inf"), 0, 0))
+        cal.push((1.0, 0, 1))
+        assert cal.pop() == (1.0, 0, 1)
+        assert cal.pop() == (float("inf"), 0, 0)
+
+    def test_calendar_resizes_under_load(self):
+        cal = CalendarEventQueue()
+        keys = [(float(i) * 0.001, i % 97, i) for i in range(5000)]
+        for key in keys:
+            cal.push(key)
+        assert drain(cal) == sorted(keys)
+
+
+def contended_trace(seed: int, queue: str) -> list[tuple]:
+    """A mini-cluster with same-instant collisions, run on one queue kind."""
+    engine = Engine(seed=seed, trace=True, queue=queue)
+    pipe = Pipe(engine, 1000.0, name="link")
+    cores = Resource(engine, capacity=2, name="cores")
+
+    def vm(i):
+        yield engine.timeout(float(i % 3), label=f"arrive:{i}")
+        yield pipe.transfer(500, label=f"fetch:{i}")
+        yield cores.request()
+        yield engine.timeout(1.0, label=f"decompress:{i}")
+        cores.release()
+
+    for i in range(12):
+        engine.process(vm(i), label=f"vm:{i}")
+    engine.run()
+    return engine.trace
+
+
+class TestEngineQueueEquivalence:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_calendar_engine_bit_identical_to_heap(self, seed):
+        assert contended_trace(seed, "calendar") == contended_trace(seed, "heap")
+
+    def test_engine_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "calendar")
+        assert Engine().queue_kind == "calendar"
+        monkeypatch.delenv("REPRO_SIM_QUEUE")
+        assert Engine().queue_kind == "heap"
+
+    def test_engine_rejects_unknown_queue(self):
+        with pytest.raises(Exception):
+            Engine(queue="fibonacci")
+
+    def test_drained_reflects_pending_work(self):
+        engine = Engine()
+        assert engine.drained
+
+        def proc():
+            yield engine.timeout(1.0)
+            yield engine.timeout(1.0)
+
+        engine.process(proc())
+        assert not engine.drained
+        engine.run(until=1.5)
+        assert not engine.drained  # second timeout still queued
+        engine.run()
+        assert engine.drained

@@ -1,0 +1,134 @@
+"""Tests for the lazy image catalog: protocol, budget, byte-identity.
+
+The contract that keeps every pinned experiment honest: synthesis is a
+pure function of the spec, so a lazy catalog — including one that evicted
+and re-synthesised an entry — yields streams and views bit-identical to
+the eager dataset path.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.vmi import (
+    AzureCommunityDataset,
+    CatalogConfig,
+    DatasetConfig,
+    ImageCatalog,
+    LazyImageCatalog,
+    as_catalog,
+    block_view,
+    cache_stream,
+    image_stream,
+)
+
+TINY = DatasetConfig(scale=1 / 4096)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return LazyImageCatalog(TINY)
+
+
+@pytest.fixture(scope="module")
+def eager():
+    return AzureCommunityDataset(TINY)
+
+
+class TestProtocol:
+    def test_lazy_catalog_satisfies_protocol(self, catalog):
+        assert isinstance(catalog, ImageCatalog)
+
+    def test_specs_match_eager_dataset(self, catalog, eager):
+        assert len(catalog) == len(eager)
+        for lazy_spec, eager_spec in zip(catalog.specs, eager.images):
+            assert lazy_spec == eager_spec
+
+    def test_spec_lookup(self, catalog):
+        spec = catalog.spec(3)
+        assert spec.image_id == 3
+        with pytest.raises(ConfigError):
+            catalog.spec(10_000)
+
+    def test_dataset_facade_shares_specs(self, catalog):
+        assert catalog.dataset.images is catalog.specs
+        assert catalog.dataset.scaled_up(1.0) == catalog.scaled_up(1.0)
+
+    def test_as_catalog(self, catalog, eager):
+        assert as_catalog(None) is None
+        assert as_catalog(catalog) is catalog
+        adapted = as_catalog(eager)
+        assert adapted.specs is eager.images  # shared, not recomputed
+        with pytest.raises(ConfigError):
+            as_catalog(42)
+
+    def test_config_picklable(self):
+        config = CatalogConfig(dataset=TINY, budget_bytes=1 << 20)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert LazyImageCatalog(clone).spec(0) == LazyImageCatalog(config).spec(0)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CatalogConfig(budget_bytes=0)
+
+
+class TestByteIdentity:
+    def test_streams_match_inline_synthesis(self, catalog):
+        for image_id in (0, 5, 100):
+            spec = catalog.spec(image_id)
+            np.testing.assert_array_equal(
+                catalog.grain_stream(image_id, "caches"), cache_stream(spec)
+            )
+            np.testing.assert_array_equal(
+                catalog.grain_stream(image_id, "images"), image_stream(spec)
+            )
+
+    def test_views_match_inline_synthesis(self, catalog):
+        spec = catalog.spec(7)
+        lazy = catalog.block_view(7, 4096, "caches")
+        inline = block_view(cache_stream(spec), 4096)
+        np.testing.assert_array_equal(lazy.signatures, inline.signatures)
+        np.testing.assert_array_equal(lazy.lsizes, inline.lsizes)
+        np.testing.assert_array_equal(lazy.is_hole, inline.is_hole)
+
+    def test_memo_returns_same_object(self, catalog):
+        assert catalog.grain_stream(9) is catalog.grain_stream(9)
+        assert catalog.block_view(9, 8192) is catalog.block_view(9, 8192)
+
+    def test_eviction_resynthesises_bit_identical(self):
+        tight = LazyImageCatalog(CatalogConfig(dataset=TINY, budget_bytes=1))
+        first = tight.grain_stream(0).copy()
+        tight.grain_stream(1)  # evicts image 0 (budget of 1 byte)
+        assert ("caches", 0) not in tight._memo
+        np.testing.assert_array_equal(tight.grain_stream(0), first)
+
+
+class TestBudget:
+    def test_resident_bounded_by_budget(self):
+        budget = 64 << 10
+        tight = LazyImageCatalog(CatalogConfig(dataset=TINY, budget_bytes=budget))
+        for spec in tight.specs[:50]:
+            tight.grain_stream(spec.image_id)
+            tight.block_view(spec.image_id, 4096)
+        # the bound is budget OR a single entry, whichever is larger
+        largest = max(tight._memo_bytes.values())
+        assert tight.resident_bytes <= max(budget, largest)
+        assert tight.peak_resident_bytes >= tight.resident_bytes
+
+    def test_never_evicts_sole_entry(self):
+        tight = LazyImageCatalog(CatalogConfig(dataset=TINY, budget_bytes=1))
+        stream = tight.grain_stream(0)
+        assert tight.grain_stream(0) is stream  # still memoised
+
+    def test_drop_by_subject(self, catalog):
+        catalog.grain_stream(2, "caches")
+        catalog.grain_stream(2, "images")
+        catalog.drop("caches")
+        assert not any(k[0] == "caches" for k in catalog._memo)
+        assert any(k[0] == "images" for k in catalog._memo)
+        catalog.drop()
+        assert not catalog._memo
+        assert catalog.resident_bytes == 0
