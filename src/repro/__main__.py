@@ -19,6 +19,9 @@ Usage::
     python -m repro metrics runs/storm           # rollups over a stored run
     python -m repro sweep churn --grid "seed=0..3" --store nightly
                                          # persist under benchmarks/results/
+    python -m repro storm --progress     # live heartbeat on stderr
+    python -m repro slo check slo/storm.toml report.json
+    python -m repro slo diff old.json new.json --tolerance 5%
 
 Experiments come from :mod:`repro.experiments.registry`: importing
 :mod:`repro.experiments` registers every module's ``run`` function, and
@@ -31,6 +34,14 @@ hard-coded here. One :class:`ExperimentContext` is shared across the whole
 invocation, so ``python -m repro all`` synthesises each dataset scale
 once. ``python -m repro sweep`` fans a parameter grid across worker
 processes via :mod:`repro.sweep`.
+
+Every run/sweep invocation carries a :class:`~repro.obs.runtime.
+RuntimeProfiler`: phase timers, engine throughput and RSS land on stderr
+(one ``[runtime]`` line) and in ``runtime.json`` next to stored exports —
+never inside the canonical stdout/report payloads, which stay
+byte-identical with profiling on. ``--progress`` adds a live stderr
+heartbeat; ``python -m repro slo check|diff`` turns reports into CI
+gates (:mod:`repro.slo`).
 """
 
 from __future__ import annotations
@@ -135,6 +146,12 @@ def _run_command(argv: list[str]) -> int:
         action="store_true",
         help="emit the result as JSON on stdout (timings go to stderr)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live heartbeat on stderr (phase, %% of horizon, events/s, "
+        "ETA); stdout is untouched",
+    )
     union = _union_specs()
     _add_spec_flags(parser, union)
     args = parser.parse_args(argv)
@@ -175,21 +192,30 @@ def _run_command(argv: list[str]) -> int:
     ctx = ExperimentContext(
         ExperimentConfig(scale=1.0 / args.scale, quick=max(1, args.quick))
     )
+    from .obs import runtime as obs_runtime
+
+    reporter = obs_runtime.ProgressReporter() if args.progress else None
+    profiler = obs_runtime.RuntimeProfiler(progress=reporter)
     collected: dict[str, dict] = {}
-    for exp, params in plan:
-        started = time.perf_counter()
-        result = exp.run(ctx, **params)
-        elapsed = time.perf_counter() - started
-        if args.json:
-            collected[exp.exp_id] = result.to_dict()
-            print(f"[{exp.exp_id}: {elapsed:.1f}s]", file=sys.stderr)
-        else:
-            print(f"== {exp.title} ==")
-            print(exp.render(result))
-            print(f"[{elapsed:.1f}s]\n")
+    with obs_runtime.profiled(profiler):
+        for exp, params in plan:
+            started = time.perf_counter()
+            with profiler.phase(f"{exp.exp_id}.run"):
+                result = exp.run(ctx, **params)
+            elapsed = time.perf_counter() - started
+            if args.json:
+                collected[exp.exp_id] = result.to_dict()
+                print(f"[{exp.exp_id}: {elapsed:.1f}s]", file=sys.stderr)
+            else:
+                print(f"== {exp.title} ==")
+                with profiler.phase(f"{exp.exp_id}.render"):
+                    rendered = exp.render(result)
+                print(rendered)
+                print(f"[{elapsed:.1f}s]\n")
     if args.json:
         payload = collected if args.experiment == "all" else next(iter(collected.values()))
         print(dumps_canonical(payload))
+    print(profiler.render(), file=sys.stderr)
     return 0
 
 
@@ -306,6 +332,12 @@ def _sweep_command(argv: list[str]) -> int:
         action="store_true",
         help="emit the merged sweep report as JSON on stdout",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live heartbeat on stderr (points done/total, avg wall per "
+        "point, ETA); stdout is untouched",
+    )
     args = parser.parse_args(argv)
 
     if args.resume is not None and args.manifest is not None:
@@ -370,6 +402,13 @@ def _sweep_command(argv: list[str]) -> int:
 
         exp = registry.get(spec.experiment)
 
+        from .obs import runtime as obs_runtime
+
+        reporter = obs_runtime.ProgressReporter() if args.progress else None
+        profiler = obs_runtime.RuntimeProfiler(progress=reporter)
+        total_points = len(spec.expand())
+        done = {"points": 0, "wall_s": 0.0}
+
         def progress(point, status, elapsed):
             label = " ".join(
                 f"{axis}={point.requested[axis]}" for axis in spec.grid
@@ -379,6 +418,13 @@ def _sweep_command(argv: list[str]) -> int:
             else:
                 print(
                     f"[{spec.experiment} {label}: {elapsed:.1f}s]", file=sys.stderr
+                )
+            done["points"] += 1
+            done["wall_s"] += elapsed
+            if reporter is not None:
+                reporter.point_done(
+                    done["points"], total_points, done["wall_s"],
+                    workers=args.workers,
                 )
 
         header = None
@@ -395,23 +441,25 @@ def _sweep_command(argv: list[str]) -> int:
                 ),
             }
         started = time.perf_counter()
-        result = run_sweep(
-            spec,
-            workers=args.workers,
-            manifest_path=manifest_path,
-            resume=args.resume is not None,
-            scale=args.scale,
-            quick=max(1, args.quick),
-            progress=progress,
-            header=header,
-        )
-        elapsed = time.perf_counter() - started
-        if out_dir is not None:
-            written = persist_sweep(out_dir, spec, result)
-            print(
-                f"[stored {len(written)} files under {out_dir}]",
-                file=sys.stderr,
+        with obs_runtime.profiled(profiler):
+            result = run_sweep(
+                spec,
+                workers=args.workers,
+                manifest_path=manifest_path,
+                resume=args.resume is not None,
+                scale=args.scale,
+                quick=max(1, args.quick),
+                progress=progress,
+                header=header,
             )
+            elapsed = time.perf_counter() - started
+            if out_dir is not None:
+                with profiler.phase("sweep.store"):
+                    written = persist_sweep(out_dir, spec, result)
+                print(
+                    f"[stored {len(written)} files under {out_dir}]",
+                    file=sys.stderr,
+                )
     except ConfigError as error:
         parser.error(str(error))
 
@@ -421,11 +469,135 @@ def _sweep_command(argv: list[str]) -> int:
     else:
         print(render_sweep(result, metrics=exp.metrics))
         print(f"[sweep: {elapsed:.1f}s]", file=sys.stderr)
+    print(profiler.render(), file=sys.stderr)
     return 0
 
 
+def _load_json(path: str, parser: argparse.ArgumentParser) -> dict:
+    """Read one JSON payload file, dying with a CLI error when unreadable."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as error:
+        parser.error(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        parser.error(f"bad JSON in {path}: {error}")
+    raise AssertionError("unreachable")  # parser.error raises SystemExit
+
+
+def _slo_command(argv: list[str]) -> int:
+    """``python -m repro slo check|diff``: SLO gates over JSON payloads.
+
+    ``check`` evaluates a TOML/JSON spec against one or more payload
+    files and exits 1 when any threshold is violated (or a selector
+    matches nothing). ``diff`` compares two payloads' shared numeric
+    leaves and exits 1 when any metric regressed past the tolerance in
+    its bad direction — the CI perf gate.
+    """
+    from dataclasses import asdict
+
+    from .slo import (
+        SLOSpec,
+        diff_payloads,
+        evaluate,
+        parse_tolerance,
+        render_diff,
+        render_verdicts,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro slo",
+        description="check SLO specs / diff perf baselines over the "
+        "simulator's JSON reports",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    check = sub.add_parser(
+        "check", help="evaluate an SLO spec against JSON payload files"
+    )
+    check.add_argument("spec", help="TOML/JSON SLO spec (a [[slo]] list)")
+    check.add_argument(
+        "payloads", nargs="+",
+        help="JSON payloads: --json reports, stored sweep report.json, "
+        "BENCH_*.json",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable verdicts on stdout",
+    )
+    diff = sub.add_parser(
+        "diff", help="flag perf regressions between two JSON payloads"
+    )
+    diff.add_argument("old", help="baseline payload (e.g. committed bench)")
+    diff.add_argument("new", help="candidate payload (e.g. fresh bench)")
+    diff.add_argument(
+        "--tolerance", default="5%",
+        help="relative change allowed before a move counts (default 5%%)",
+    )
+    diff.add_argument(
+        "--metric", action="append", default=[], metavar="SUBSTR",
+        help="restrict to paths containing SUBSTR (repeatable)",
+    )
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable diff on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.action == "check":
+        try:
+            spec = SLOSpec.from_file(args.spec)
+        except ConfigError as error:
+            parser.error(str(error))
+        verdicts = []
+        for path in args.payloads:
+            payload = _load_json(path, parser)
+            try:
+                verdicts.extend(evaluate(spec, payload, source=path))
+            except ConfigError as error:
+                parser.error(str(error))
+        ok = all(verdict.ok for verdict in verdicts)
+        if args.json:
+            print(
+                dumps_canonical(
+                    {"ok": ok, "verdicts": [asdict(v) for v in verdicts]}
+                )
+            )
+            print(render_verdicts(verdicts), file=sys.stderr)
+        else:
+            print(render_verdicts(verdicts))
+        return 0 if ok else 1
+
+    try:
+        tolerance = parse_tolerance(args.tolerance)
+    except ConfigError as error:
+        parser.error(str(error))
+    entries = diff_payloads(
+        _load_json(args.old, parser),
+        _load_json(args.new, parser),
+        tolerance=tolerance,
+        metrics=args.metric or None,
+    )
+    regressed = any(entry.regression for entry in entries)
+    if args.json:
+        print(
+            dumps_canonical(
+                {
+                    "ok": not regressed,
+                    "tolerance": tolerance,
+                    "changes": [asdict(entry) for entry in entries],
+                }
+            )
+        )
+        print(render_diff(entries, tolerance=tolerance), file=sys.stderr)
+    else:
+        print(render_diff(entries, tolerance=tolerance))
+    return 0 if not regressed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: dispatch to list/run/sweep."""
+    """CLI entry point: dispatch to list/run/sweep/metrics/slo."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "list":
         return _list_experiments()
@@ -433,6 +605,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sweep_command(argv[1:])
     if argv and argv[0] == "metrics":
         return _metrics_command(argv[1:])
+    if argv and argv[0] == "slo":
+        return _slo_command(argv[1:])
     return _run_command(argv)
 
 

@@ -22,6 +22,7 @@ from typing import Any
 
 from ..common.errors import ConfigError
 from ..common.report import dumps_canonical, to_jsonable
+from ..obs import runtime as obs_runtime
 from .instruments import MetricsRegistry, format_number
 from .store import TimeSeriesStore
 
@@ -213,4 +214,16 @@ def write_run_exports(out_dir: str | Path, result: Any) -> dict[str, Path]:
     report = out / "report.json"
     report.write_text(dumps_canonical(payload) + "\n", encoding="utf-8")
     written["report.json"] = report
+    profiler = obs_runtime.current()
+    if profiler is not None:
+        # host telemetry lands *next to* the canonical exports, never in
+        # them: runtime.json carries wall-clock measurements and is
+        # excluded from byte-identity comparisons (CI diffs the run
+        # directories with --exclude=runtime.json)
+        runtime_path = out / "runtime.json"
+        runtime_path.write_text(
+            dumps_canonical(to_jsonable(profiler.block())) + "\n",
+            encoding="utf-8",
+        )
+        written["runtime.json"] = runtime_path
     return written

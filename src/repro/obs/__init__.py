@@ -1,13 +1,17 @@
-"""Observability: deterministic span tracing + cache-tier latency attribution."""
+"""Observability: deterministic span tracing, cache-tier latency
+attribution, and host-side runtime telemetry (:mod:`.runtime`)."""
 
 from .attribution import ARC_COUNTERS, BUCKETS, BootAttribution, attribution_block
 from .chrome import chrome_trace, dump_chrome_trace, write_chrome_trace
+from .runtime import ProgressReporter, RuntimeProfiler
 from .spans import Span, SpanTracer
 
 __all__ = [
     "ARC_COUNTERS",
     "BUCKETS",
     "BootAttribution",
+    "ProgressReporter",
+    "RuntimeProfiler",
     "Span",
     "SpanTracer",
     "attribution_block",

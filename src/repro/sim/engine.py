@@ -223,6 +223,12 @@ class Engine:
         self._tiebreak_block: list[int] = []
         self._tiebreak_next = 0
         self.trace: list[tuple[float, str]] | None = [] if trace else None
+        self._events_processed = 0
+        #: runtime-telemetry hook (see :mod:`repro.obs.runtime`): an object
+        #: with ``tick_every``/``run_started``/``tick``/``run_ended``. It
+        #: only *reads* engine state, so attaching one cannot change the
+        #: event order or any simulation result.
+        self.observer: Any = None
 
     # -- clock --------------------------------------------------------------------
 
@@ -280,22 +286,53 @@ class Engine:
         """Drain the queue (or stop once the clock would pass ``until``);
         returns the final simulated time. :attr:`drained` afterwards tells
         whether the queue emptied or the run stopped at ``until`` with
-        events still pending."""
+        events still pending. An attached :attr:`observer` is notified
+        around and periodically during the drain (read-only: it cannot
+        perturb the schedule)."""
+        observer = self.observer
+        if observer is not None:
+            observer.run_started(self)
+        try:
+            return self._drain(until, observer)
+        finally:
+            if observer is not None:
+                observer.run_ended(self)
+
+    def _drain(self, until: float | None, observer: Any) -> float:
         queue = self._queue
         trace = self.trace
-        while len(queue):
-            time = queue.peek_time()
-            if until is not None and time > until:
-                self._now = until
-                return self._now
-            time, _tiebreak, _seq, event, value = queue.pop()
-            if time < self._now:
-                raise SimulationError("event queue went backwards in time")
-            self._now = time
-            if trace is not None and event.label is not None:
-                trace.append((time, event.label))
-            event._fire(value)
-        return self._now
+        tick_every = int(getattr(observer, "tick_every", 0) or 0)
+        countdown = tick_every if tick_every > 0 else -1
+        processed = self._events_processed
+        try:
+            while len(queue):
+                time = queue.peek_time()
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                time, _tiebreak, _seq, event, value = queue.pop()
+                if time < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = time
+                if trace is not None and event.label is not None:
+                    trace.append((time, event.label))
+                event._fire(value)
+                processed += 1
+                countdown -= 1
+                if countdown == 0:
+                    self._events_processed = processed
+                    observer.tick(self)
+                    countdown = tick_every
+            return self._now
+        finally:
+            self._events_processed = processed
+
+    @property
+    def events_processed(self) -> int:
+        """Events fired by :meth:`run` so far (host-profiler fodder:
+        events/second is this over wall time). Updated at run exit and at
+        every observer tick, not per event."""
+        return self._events_processed
 
     @property
     def drained(self) -> bool:

@@ -1,0 +1,39 @@
+"""Declarative SLOs over simulation outputs: specs, checks, perf diffs.
+
+The simulator's reports are machine-readable; this package makes them
+machine-*judgeable*. Three pieces:
+
+* :mod:`.spec` — :class:`SLORule`/:class:`SLOSpec`: TOML/JSON rule files
+  (``metric`` selector + aggregation + ``min``/``max`` threshold, e.g.
+  "squirrel boot p99 < 45 s", "ARC hit rate > 0.6", "engine events/s
+  > 50 000"),
+* :mod:`.check` — evaluate a spec against any canonical JSON payload:
+  a ``--json`` report, a stored sweep ``report.json`` (rules aggregate
+  across points), a ``--metrics`` run directory's report, an embedded
+  canonical metrics block (instrument selectors like
+  ``zfs_arc_hit_rate{node=compute0}``), or a ``BENCH_*.json`` file,
+* :mod:`.diff` — baseline diffing with a relative tolerance and
+  higher/lower-is-better direction per metric: the CI perf-regression
+  gate (``python -m repro slo diff old.json new.json --tolerance 5%``).
+
+The CLI surface is ``python -m repro slo check|diff``; both emit
+machine-readable verdicts with ``--json`` and exit non-zero on a violated
+threshold or a regression past tolerance.
+"""
+
+from .check import Verdict, evaluate, render_verdicts, resolve_metric
+from .diff import DiffEntry, diff_payloads, parse_tolerance, render_diff
+from .spec import SLORule, SLOSpec
+
+__all__ = [
+    "DiffEntry",
+    "SLORule",
+    "SLOSpec",
+    "Verdict",
+    "diff_payloads",
+    "evaluate",
+    "parse_tolerance",
+    "render_diff",
+    "render_verdicts",
+    "resolve_metric",
+]

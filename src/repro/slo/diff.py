@@ -1,0 +1,173 @@
+"""Baseline diffing: flag perf regressions between two JSON payloads.
+
+``diff_payloads(old, new, tolerance)`` flattens both payloads to their
+numeric leaves, pairs them by dotted path, and flags any shared metric
+that moved past the relative tolerance in its *bad* direction. Direction
+is inferred from the path name:
+
+* higher-is-better — throughput-ish names (``per_s``, ``per_second``,
+  ``ops``, ``rate``, ``throughput``, ``hit``): a drop is a regression,
+* lower-is-better — cost-ish names (``_s`` suffix, ``seconds``,
+  ``latency``, ``elapsed``, ``wall``, ``rss``, ``bytes``, ``misses``):
+  a rise is a regression,
+* neutral — everything else is reported when it moves past tolerance but
+  never fails the gate (counts like ``engine_events`` are workload
+  descriptors, not performance).
+
+This powers ``python -m repro slo diff old.json new.json --tolerance
+25%`` — the CI gate that compares a fresh ``BENCH_kernel.json`` against
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.errors import ConfigError
+
+__all__ = ["DiffEntry", "diff_payloads", "parse_tolerance", "render_diff"]
+
+_HIGHER_BETTER = ("per_s", "per_second", "ops", "rate", "throughput", "hit")
+_LOWER_BETTER = ("seconds", "latency", "elapsed", "wall", "rss", "bytes",
+                 "misses")
+
+
+def parse_tolerance(text: str | float) -> float:
+    """Parse ``"5%"`` or ``"0.05"`` (or a float) into a fraction >= 0."""
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        value = float(text)
+    else:
+        raw = str(text).strip()
+        try:
+            value = (
+                float(raw[:-1]) / 100.0 if raw.endswith("%") else float(raw)
+            )
+        except ValueError:
+            raise ConfigError(f"bad tolerance {text!r}") from None
+    if value < 0:
+        raise ConfigError(f"tolerance must be >= 0, got {text!r}")
+    return value
+
+
+def _direction(path: str) -> str:
+    """``higher``/``lower``/``neutral`` — which way is *better* for a
+    metric, inferred from its dotted path."""
+    lowered = path.lower()
+    leaf = lowered.rsplit(".", 1)[-1]
+    if any(token in lowered for token in _HIGHER_BETTER):
+        return "higher"
+    if leaf.endswith("_s") or any(t in lowered for t in _LOWER_BETTER):
+        return "lower"
+    return "neutral"
+
+
+def flatten(payload: Any, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf of a JSON-able payload, keyed by dotted path
+    (list elements are indexed: ``points.0.wall_s``)."""
+    flat: dict[str, float] = {}
+    if isinstance(payload, bool):
+        return flat
+    if isinstance(payload, (int, float)):
+        flat[prefix] = float(payload)
+        return flat
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten(payload[key], child))
+    elif isinstance(payload, (list, tuple)):
+        for index, item in enumerate(payload):
+            child = f"{prefix}.{index}" if prefix else str(index)
+            flat.update(flatten(item, child))
+    return flat
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One shared numeric path compared between baseline and candidate."""
+
+    path: str
+    old: float
+    new: float
+    rel: float  #: (new - old) / |old|; 0 when both sides are 0
+    direction: str  #: ``higher``/``lower``/``neutral`` (which way is better)
+    regression: bool  #: moved past tolerance in the bad direction
+    improvement: bool  #: moved past tolerance in the good direction
+
+    def render(self) -> str:
+        """One human-readable diff line."""
+        if self.regression:
+            status = "REGRESSION"
+        elif self.improvement:
+            status = "improved"
+        else:
+            status = "changed"
+        return (
+            f"{status} {self.path}: {self.old:g} -> {self.new:g} "
+            f"({self.rel:+.1%}, {self.direction} is better)"
+            if self.direction != "neutral"
+            else f"{status} {self.path}: {self.old:g} -> {self.new:g} "
+            f"({self.rel:+.1%})"
+        )
+
+
+def diff_payloads(
+    old: Any,
+    new: Any,
+    *,
+    tolerance: float,
+    metrics: list[str] | None = None,
+) -> list[DiffEntry]:
+    """Compare the shared numeric leaves of two payloads.
+
+    Returns one :class:`DiffEntry` per shared path whose relative change
+    exceeds ``tolerance`` (regressions first, then improvements, then
+    neutral moves). ``metrics`` restricts the comparison to paths
+    containing any of the given substrings. Paths present on only one
+    side are ignored — schema growth is not a perf regression.
+    """
+    old_flat = flatten(old)
+    new_flat = flatten(new)
+    entries: list[DiffEntry] = []
+    for path in sorted(old_flat.keys() & new_flat.keys()):
+        if metrics and not any(needle in path for needle in metrics):
+            continue
+        before, after = old_flat[path], new_flat[path]
+        if before == after:
+            continue
+        rel = (after - before) / abs(before) if before else float("inf")
+        if abs(rel) <= tolerance:
+            continue
+        direction = _direction(path)
+        regression = (direction == "higher" and rel < 0) or (
+            direction == "lower" and rel > 0
+        )
+        improvement = direction != "neutral" and not regression
+        entries.append(
+            DiffEntry(
+                path=path, old=before, new=after, rel=rel,
+                direction=direction, regression=regression,
+                improvement=improvement,
+            )
+        )
+    entries.sort(
+        key=lambda e: (not e.regression, not e.improvement, e.path)
+    )
+    return entries
+
+
+def render_diff(entries: list[DiffEntry], *, tolerance: float) -> str:
+    """The human-readable diff table plus a one-line summary."""
+    lines = [entry.render() for entry in entries]
+    regressions = sum(1 for entry in entries if entry.regression)
+    if regressions:
+        lines.append(
+            f"slo diff: {regressions} regression(s) past "
+            f"{tolerance:.0%} tolerance"
+        )
+    else:
+        lines.append(
+            f"slo diff: no regressions past {tolerance:.0%} tolerance "
+            f"({len(entries)} other change(s))"
+        )
+    return "\n".join(lines)

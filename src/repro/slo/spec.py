@@ -1,0 +1,155 @@
+"""SLO specifications: declarative thresholds over report payloads.
+
+A spec file is TOML (or JSON with the same shape): one ``[[slo]]`` table
+per rule::
+
+    [[slo]]
+    name   = "squirrel boot p99"
+    metric = "report.squirrel.latency.p99"
+    max    = 45.0
+
+    [[slo]]
+    name   = "per-node ARC hit rate"
+    metric = "zfs_arc_hit_rate{node=compute0}"
+    block  = "squirrel"
+    min    = 0.6
+
+    [[slo]]
+    metric = "queues.heap.engine_events_per_s"
+    min    = 50000.0
+
+Rule fields:
+
+* ``metric`` (required) — either a dotted path into the payload
+  (``report.squirrel.latency.p99``) or an instrument selector into every
+  embedded canonical metrics block (``family`` or
+  ``family{label=value,...}``),
+* ``min`` / ``max`` — at least one; each bound is checked (and reported)
+  separately,
+* ``agg`` — how multiple matched values collapse (sweep points, multiple
+  instrument samples): ``min``/``max``/``mean``/``sum``/``count``/
+  ``p50``/``p95``/``p99``, or the default ``worst`` — the value most
+  likely to violate the bound (the minimum for a ``min`` bound, the
+  maximum for a ``max`` bound), which is the conservative gate,
+* ``name`` — display name (defaults to the metric selector),
+* ``block`` — substring filter on the embedded-metrics-block path for
+  instrument selectors (``"squirrel"`` targets
+  ``report.squirrel.metrics`` and skips the baseline side).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigError
+
+__all__ = ["SLORule", "SLOSpec", "AGGREGATIONS"]
+
+#: recognised ``agg`` values (``worst`` resolves per bound at check time)
+AGGREGATIONS = (
+    "worst", "min", "max", "mean", "sum", "count", "p50", "p95", "p99",
+)
+
+_RULE_KEYS = {"name", "metric", "min", "max", "agg", "block"}
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One declarative threshold: metric selector + aggregation + bound(s)."""
+
+    metric: str
+    min: float | None = None
+    max: float | None = None
+    agg: str = "worst"
+    name: str | None = None
+    block: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.metric or not isinstance(self.metric, str):
+            raise ConfigError("SLO rule needs a non-empty 'metric' selector")
+        if self.min is None and self.max is None:
+            raise ConfigError(
+                f"SLO rule {self.metric!r} needs a 'min' or 'max' bound"
+            )
+        if self.agg not in AGGREGATIONS:
+            raise ConfigError(
+                f"SLO rule {self.metric!r}: unknown agg {self.agg!r} "
+                f"(choose from {', '.join(AGGREGATIONS)})"
+            )
+
+    @property
+    def display_name(self) -> str:
+        """The rule's label in verdicts: explicit name or the selector."""
+        return self.name or self.metric
+
+    @classmethod
+    def from_data(cls, data: dict, *, where: str = "SLO rule") -> "SLORule":
+        """Build a rule from one parsed TOML/JSON table."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"{where}: expected a table, got {data!r}")
+        unknown = set(data) - _RULE_KEYS
+        if unknown:
+            raise ConfigError(
+                f"{where}: unknown keys {sorted(unknown)!r} "
+                f"(allowed: {sorted(_RULE_KEYS)!r})"
+            )
+        for bound in ("min", "max"):
+            value = data.get(bound)
+            if value is not None and not isinstance(value, (int, float)):
+                raise ConfigError(
+                    f"{where}: {bound} must be a number, got {value!r}"
+                )
+        return cls(
+            metric=data.get("metric", ""),
+            min=None if data.get("min") is None else float(data["min"]),
+            max=None if data.get("max") is None else float(data["max"]),
+            agg=data.get("agg", "worst"),
+            name=data.get("name"),
+            block=data.get("block"),
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """An ordered set of :class:`SLORule` entries (one spec file)."""
+
+    rules: tuple[SLORule, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_data(cls, data: dict, *, where: str = "SLO spec") -> "SLOSpec":
+        """Build a spec from a parsed ``{"slo": [rule, ...]}`` document."""
+        if not isinstance(data, dict) or "slo" not in data:
+            raise ConfigError(f"{where} lacks an 'slo' rule list")
+        raw_rules = data["slo"]
+        if not isinstance(raw_rules, list) or not raw_rules:
+            raise ConfigError(f"{where}: 'slo' must be a non-empty list")
+        return cls(
+            rules=tuple(
+                SLORule.from_data(raw, where=f"{where} rule {i + 1}")
+                for i, raw in enumerate(raw_rules)
+            )
+        )
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "SLOSpec":
+        """Load a spec from a TOML (``.toml``) or JSON file."""
+        path = pathlib.Path(path)
+        try:
+            raw_text = path.read_text()
+        except OSError as error:
+            raise ConfigError(f"cannot read SLO spec {path}: {error}") from None
+        if path.suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(raw_text)
+            except tomllib.TOMLDecodeError as error:
+                raise ConfigError(f"bad TOML in {path}: {error}") from None
+        else:
+            try:
+                data = json.loads(raw_text)
+            except json.JSONDecodeError as error:
+                raise ConfigError(f"bad JSON in {path}: {error}") from None
+        return cls.from_data(data, where=f"SLO spec {path}")

@@ -39,6 +39,7 @@ from ..common.errors import ConfigError
 from ..common.report import ReportBase, dumps_canonical, to_jsonable
 from ..experiments import ExperimentContext, registry
 from ..experiments.context import _shared_context
+from ..obs import runtime as obs_runtime
 from .spec import SweepPoint, SweepSpec
 
 __all__ = ["SweepResult", "load_manifest", "run_sweep"]
@@ -209,11 +210,30 @@ def run_sweep(
     output paths) is written as the manifest's first line, tagged with
     ``manifest_version`` so :func:`load_manifest` can skip it; without a
     header the manifest holds exactly one line per completed point.
+
+    When a runtime profiler is active (:mod:`repro.obs.runtime`, CLI
+    invocations) every completed point's wall time is recorded and the
+    manifest gains a final ``manifest_version``-tagged trailer line with
+    the ``runtime`` block — skipped by :func:`load_manifest`, so resumes
+    and byte-identity comparisons of the point lines are unaffected.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
     if resume and manifest_path is None:
         raise ConfigError("resume needs a manifest path")
+    profiler = obs_runtime.current()
+
+    def record(point: SweepPoint, status: str, elapsed: float) -> None:
+        # runtime telemetry (per-point wall time) and the caller's
+        # progress callback see every completion, whichever path ran it
+        if profiler is not None:
+            label = " ".join(
+                f"{axis}={point.requested[axis]}" for axis in spec.grid
+            )
+            profiler.point(label or "point", elapsed, status=status)
+        if progress is not None:
+            progress(point, status, elapsed)
+
     points = spec.expand()
     results: dict[int, dict] = {}
     replay: list[SweepPoint] = []
@@ -223,8 +243,7 @@ def run_sweep(
             if point.key in completed:
                 results[point.index] = completed[point.key]["result"]
                 replay.append(point)
-                if progress is not None:
-                    progress(point, "cached", 0.0)
+                record(point, "cached", 0.0)
     pending = [point for point in points if point.index not in results]
 
     manifest = None
@@ -258,8 +277,7 @@ def run_sweep(
                 results[index] = result
                 if manifest is not None:
                     _append_manifest(manifest, point, result)
-                if progress is not None:
-                    progress(point, "run", time.perf_counter() - started)
+                record(point, "run", time.perf_counter() - started)
         else:
             with ProcessPoolExecutor(
                 max_workers=workers,
@@ -282,14 +300,26 @@ def run_sweep(
                     results[index] = result
                     if manifest is not None:
                         _append_manifest(manifest, point, result)
-                    if progress is not None:
-                        progress(
-                            point,
-                            "run",
-                            time.perf_counter() - started_at[point.index],
-                        )
+                    record(
+                        point, "run",
+                        time.perf_counter() - started_at[point.index],
+                    )
     finally:
         if manifest is not None:
+            if profiler is not None:
+                # runtime trailer: tagged like the provenance header so
+                # load_manifest skips it — resume never replays telemetry,
+                # and the per-point lines stay byte-comparable
+                manifest.write(
+                    dumps_canonical(
+                        {
+                            "manifest_version": 1,
+                            "experiment": spec.experiment,
+                            "runtime": to_jsonable(profiler.block()),
+                        }
+                    )
+                    + "\n"
+                )
             manifest.close()
 
     return SweepResult(

@@ -12,7 +12,12 @@ sweep under one directory — by convention
   every metrics block extracted from that point's result), the
   grep/jq-friendly view of the per-point time series,
 * ``manifest.jsonl`` — written by the runner itself when the CLI defaults
-  the manifest into the store directory (resume-able).
+  the manifest into the store directory (resume-able),
+* ``runtime.json`` — host-side runtime telemetry (wall clock, engine
+  throughput, RSS high-water; see :mod:`repro.obs.runtime`), written only
+  when a profiler is active (CLI runs). It is the one file with
+  non-deterministic *values* and is excluded from every byte-identity
+  comparison.
 
 Everything funnels through :func:`~repro.common.report.dumps_canonical`,
 so a stored sweep is byte-identical across same-seed re-runs and across
@@ -25,6 +30,7 @@ from pathlib import Path
 
 from ..common.report import dumps_canonical, to_jsonable
 from ..metrics import collect_metric_blocks
+from ..obs import runtime as obs_runtime
 from .runner import SweepResult
 from .spec import SweepSpec
 
@@ -78,4 +84,16 @@ def persist_sweep(
         "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
     )
     written["metrics.jsonl"] = metrics_path
+
+    profiler = obs_runtime.current()
+    if profiler is not None:
+        # host telemetry rides next to the canonical files, never inside
+        # them: runtime.json holds wall-clock measurements and sits
+        # outside every byte-identity comparison
+        runtime_path = out / "runtime.json"
+        runtime_path.write_text(
+            dumps_canonical(to_jsonable(profiler.block())) + "\n",
+            encoding="utf-8",
+        )
+        written["runtime.json"] = runtime_path
     return written

@@ -156,7 +156,8 @@ class LazyImageCatalog:
     @property
     def dataset(self) -> AzureCommunityDataset:
         """An eager-dataset facade over the same (shared) spec list —
-        the bridge for analysis code and the ``dataset_at`` shim."""
+        the bridge for analysis code reached through
+        ``ExperimentContext.catalog(scale).dataset``."""
         if self._dataset is None:
             self._dataset = AzureCommunityDataset.from_images(
                 self.config.dataset, self.specs

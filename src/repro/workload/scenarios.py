@@ -66,6 +66,7 @@ from ..obs import (
     attribution_block,
     write_chrome_trace,
 )
+from ..obs import runtime as obs_runtime
 from ..sim import Engine, Event, HistogramStats, Interrupted, Pipe, Resource, Timeline
 from ..vmi import (
     AzureCommunityDataset,
@@ -1094,6 +1095,9 @@ def _build_rig(
         # attach before TimedSquirrel so _instrument sees the coordinator
         squirrel.placement = placement_factory(squirrel)
     engine = Engine(seed=seed, trace=trace)
+    # runtime telemetry (read-only observer; no-op without an active
+    # profiler): phase timers + events/s + the --progress heartbeat
+    obs_runtime.attach(engine)
     timeline = Timeline(engine)
     metrics = MetricsRegistry()
     timed = TimedSquirrel(squirrel, catalog, engine, timeline, metrics=metrics)
@@ -1256,45 +1260,54 @@ def _run_storm_side(
     placement_sink=None,
 ) -> tuple[StormSide, SpanTracer]:
     n_images = max(image_id for _, _, image_id in plan) + 1
-    rig = _build_rig(
-        n_compute=config.n_nodes,
-        n_storage=config.n_storage,
-        block_size=config.block_size,
-        scale=config.scale,
-        link=config.link,
-        seed=derive_seed("storm", config.seed, "squirrel" if with_caches else "baseline"),
-        trace=config.trace,
-        metrics_interval_s=config.metrics_interval_s,
-        dataset=catalog,
-        estimator=estimator,
-        placement_factory=(
-            _placement_factory(config, placement, n_images)
-            if with_caches and placement is not None
-            else None
-        ),
-    )
-    squirrel, engine, timeline, timed = (
-        rig.squirrel, rig.engine, rig.timeline, rig.timed,
-    )
-    gluster = squirrel.cluster.storage.gluster
-    if with_caches:
-        for spec in catalog.specs[:n_images]:
-            squirrel.register(spec)  # setup: instant, before the storm
-    else:
-        # the baseline never registers: only the base VMIs exist on the FS
-        for spec in catalog.specs[:n_images]:
-            gluster.create_file(f"vmi-{spec.image_id:05d}", spec.nonzero_bytes)
-    squirrel.cluster.ledger.clear()
-    if config.faults is not None:
-        FaultInjector(timed, config.faults).start()
+    side_name = "squirrel" if with_caches else "baseline"
+    with obs_runtime.phase(f"storm.setup.{side_name}"):
+        rig = _build_rig(
+            n_compute=config.n_nodes,
+            n_storage=config.n_storage,
+            block_size=config.block_size,
+            scale=config.scale,
+            link=config.link,
+            seed=derive_seed("storm", config.seed, side_name),
+            trace=config.trace,
+            metrics_interval_s=config.metrics_interval_s,
+            dataset=catalog,
+            estimator=estimator,
+            placement_factory=(
+                _placement_factory(config, placement, n_images)
+                if with_caches and placement is not None
+                else None
+            ),
+        )
+        squirrel, engine, timeline, timed = (
+            rig.squirrel, rig.engine, rig.timeline, rig.timed,
+        )
+        gluster = squirrel.cluster.storage.gluster
+        if with_caches:
+            for spec in catalog.specs[:n_images]:
+                squirrel.register(spec)  # setup: instant, before the storm
+        else:
+            # the baseline never registers: only the base VMIs exist on the FS
+            for spec in catalog.specs[:n_images]:
+                gluster.create_file(f"vmi-{spec.image_id:05d}", spec.nonzero_bytes)
+        squirrel.cluster.ledger.clear()
+        if config.faults is not None:
+            FaultInjector(timed, config.faults).start()
 
-    def vm(at, node_name, image_id):
-        yield engine.timeout(at)
-        yield timed.boot(image_id, node_name, force_cold=not with_caches)
+        def vm(at, node_name, image_id):
+            yield engine.timeout(at)
+            yield timed.boot(image_id, node_name, force_cold=not with_caches)
 
-    for at, node_name, image_id in plan:
-        engine.process(vm(at, node_name, image_id), label=f"vm:{node_name}:{image_id}")
-    horizon = engine.run()
+        for at, node_name, image_id in plan:
+            engine.process(
+                vm(at, node_name, image_id), label=f"vm:{node_name}:{image_id}"
+            )
+    with obs_runtime.phase(f"storm.run.{side_name}"):
+        # the heartbeat's horizon: boots completed over boots planned
+        obs_runtime.set_fraction(
+            lambda: timeline.counter("boots") / len(plan) if plan else None
+        )
+        horizon = engine.run()
     timed.tracer.close_open_spans()
     side = StormSide(
         boots=int(timeline.counter("boots")),
@@ -1507,7 +1520,10 @@ def steady_state_day(
         timed.collect_garbage()
 
     engine.process(nightly_gc())
-    engine.run()
+    with obs_runtime.phase("day.run"):
+        # heartbeat horizon: the day ends at DAY_S on the sim clock
+        obs_runtime.set_fraction(lambda: min(1.0, engine.now / DAY_S))
+        engine.run()
     timed.tracer.close_open_spans()
     if trace_path is not None:
         write_chrome_trace(trace_path, {"day": timed.tracer})
@@ -1658,7 +1674,10 @@ def register_churn(
             timed.collect_garbage()
 
     engine.process(daily_gc())
-    engine.run()
+    with obs_runtime.phase("churn.run"):
+        # heartbeat horizon: registrations + downtime all land inside it
+        obs_runtime.set_fraction(lambda: min(1.0, engine.now / horizon_s))
+        engine.run()
     timed.tracer.close_open_spans()
     if trace_path is not None:
         write_chrome_trace(trace_path, {"churn": timed.tracer})

@@ -70,3 +70,124 @@ class TestExportDirValidation:
         ]) == 0
         capsys.readouterr()
         assert (target / "report.json").exists()
+
+
+STORM_FAST = [
+    "storm", "--nodes", "2", "--vms-per-node", "1",
+    "--scale", "4096", "--json",
+]
+
+
+class TestProgressAndRuntime:
+    """--progress and the runtime profiler are stderr/side-file only:
+    canonical stdout stays byte-identical with them enabled."""
+
+    def test_progress_leaves_json_stdout_byte_identical(self, capsys):
+        assert main(STORM_FAST) == 0
+        plain = capsys.readouterr()
+        assert main(STORM_FAST + ["--progress"]) == 0
+        progressed = capsys.readouterr()
+        assert progressed.out == plain.out
+        assert "[runtime]" in plain.err and "[runtime]" in progressed.err
+
+    def test_sweep_progress_leaves_json_stdout_byte_identical(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_SCALE", "4096")
+        argv = [
+            "sweep", "storm", "--grid", "seed=0..1",
+            "--set", "nodes=2", "--set", "vms_per_node=1", "--json",
+        ]
+        assert main(argv) == 0
+        plain = capsys.readouterr()
+        assert main(argv + ["--progress"]) == 0
+        progressed = capsys.readouterr()
+        assert progressed.out == plain.out
+        assert "[progress] sweep 2/2 points" in progressed.err
+        assert "[progress]" not in plain.err
+
+    def test_metrics_run_writes_runtime_json_next_to_exports(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        target = tmp_path / "run"
+        assert main(STORM_FAST[:-1] + ["--metrics", str(target)]) == 0
+        capsys.readouterr()
+        block = json.loads((target / "runtime.json").read_text())
+        assert block["schema"] == "repro.runtime/1"
+        assert block["engine"]["events"] > 0
+        # the scenario's phase timers came through the active profiler
+        assert any(name.startswith("storm.") for name in block["phases"])
+
+
+class TestSloCli:
+    def _write(self, path, payload):
+        import json
+
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_check_passes_and_fails_on_threshold(self, tmp_path, capsys):
+        spec = tmp_path / "slo.toml"
+        spec.write_text(
+            '[[slo]]\nmetric = "latency.p99"\nmax = 10.0\n'
+        )
+        good = self._write(tmp_path / "good.json", {"latency": {"p99": 4.0}})
+        bad = self._write(tmp_path / "bad.json", {"latency": {"p99": 40.0}})
+        assert main(["slo", "check", str(spec), good]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(["slo", "check", str(spec), bad]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_fails_when_nothing_matches(self, tmp_path, capsys):
+        spec = tmp_path / "slo.toml"
+        spec.write_text('[[slo]]\nmetric = "gone.metric"\nmin = 1.0\n')
+        payload = self._write(tmp_path / "r.json", {"latency": {"p99": 1.0}})
+        assert main(["slo", "check", str(spec), payload]) == 1
+        assert "no value matched" in capsys.readouterr().out
+
+    def test_check_json_verdicts_are_machine_readable(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps({"slo": [{"metric": "latency.p99", "max": 10.0}]})
+        )
+        payload = self._write(tmp_path / "r.json", {"latency": {"p99": 4.0}})
+        assert main(["slo", "check", str(spec), payload, "--json"]) == 0
+        verdicts = json.loads(capsys.readouterr().out)
+        assert verdicts["ok"] is True
+        assert verdicts["verdicts"][0]["value"] == 4.0
+
+    def test_diff_flags_regressions_by_direction(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json",
+            {"engine_events_per_s": 100.0, "engine_elapsed_s": 1.0},
+        )
+        worse = self._write(
+            tmp_path / "worse.json",
+            {"engine_events_per_s": 50.0, "engine_elapsed_s": 1.0},
+        )
+        better = self._write(
+            tmp_path / "better.json",
+            {"engine_events_per_s": 200.0, "engine_elapsed_s": 0.5},
+        )
+        assert main(["slo", "diff", old, worse, "--tolerance", "25%"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["slo", "diff", old, better, "--tolerance", "25%"]) == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_diff_metric_filter_ignores_other_leaves(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json", {"rate": 100.0, "rss_bytes": 100.0}
+        )
+        new = self._write(
+            tmp_path / "new.json", {"rate": 99.0, "rss_bytes": 900.0}
+        )
+        assert main([
+            "slo", "diff", old, new, "--tolerance", "5%", "--metric", "rate",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["slo", "diff", old, new, "--tolerance", "5%"]) == 1

@@ -539,3 +539,80 @@ class TestSweepStore:
         assert head["manifest_version"] == 1
         assert head["spec_file"] == str(spec_file.resolve())
         assert head["out"] == str(store)
+
+
+class TestSamplerRearmEdges:
+    """Re-arm edge cases: horizons, zero-length work, sole survivor."""
+
+    def _rig(self, interval_s=5.0):
+        engine = Engine(seed=0)
+        reg = MetricsRegistry()
+        reg.gauge("clock").set_function(lambda: engine.now)
+        store = TimeSeriesStore()
+        sampler = Sampler(engine, reg, store, interval_s=interval_s)
+        return engine, store, sampler
+
+    def test_until_horizon_pauses_and_resumes_the_cadence(self):
+        engine, store, sampler = self._rig()
+
+        def workload():
+            yield engine.timeout(12.0)
+
+        engine.process(workload())
+        sampler.start()
+        engine.run(until=7.0)  # stop mid-cadence: re-arm still queued
+        assert engine.now == 7.0
+        assert not engine.drained
+        assert store.get("clock")["t"] == [0.0, 5.0]
+        engine.run()  # resume: cadence continues, then final snapshot
+        assert store.get("clock")["t"] == [0.0, 5.0, 10.0, 15.0]
+        assert engine.drained
+
+    def test_zero_length_workload_still_rearms_once(self):
+        engine, store, sampler = self._rig()
+
+        def workload():
+            yield engine.timeout(0.0)
+
+        engine.process(workload())
+        sampler.start()
+        engine.run()
+        # the t=0 scrape sees the pending zero-timeout, so one re-arm
+        # happens before the drained tick takes the final snapshot
+        assert store.get("clock")["t"] == [0.0, 5.0]
+        assert sampler.scrapes == 2
+
+    def test_sampler_as_sole_process_exits_immediately(self):
+        engine, store, sampler = self._rig()
+        sampler.start()
+        engine.run()
+        assert engine.drained
+        assert store.get("clock")["t"] == [0.0]
+        assert sampler.scrapes == 1
+        # a second run finds nothing queued and moves no clock
+        assert engine.run() == 0.0
+        assert sampler.scrapes == 1
+
+
+class TestRuntimeBlockStaysOutOfExports:
+    """runtime.json appears only for profiled runs and never changes the
+    canonical export bytes."""
+
+    def test_no_profiler_no_runtime_file(self, tmp_path, storm_report):
+        written = write_run_exports(tmp_path / "plain", storm_report)
+        assert "runtime.json" not in written
+        assert not (tmp_path / "plain" / "runtime.json").exists()
+
+    def test_profiled_run_adds_runtime_json_without_touching_reports(
+        self, tmp_path, storm_report
+    ):
+        from repro.obs import runtime as obs_runtime
+
+        plain = write_run_exports(tmp_path / "plain", storm_report)
+        with obs_runtime.profiled(obs_runtime.RuntimeProfiler()):
+            profiled = write_run_exports(tmp_path / "profiled", storm_report)
+        assert "runtime.json" in profiled
+        block = json.loads(profiled["runtime.json"].read_text())
+        assert block["schema"] == "repro.runtime/1"
+        for name in plain:
+            assert plain[name].read_bytes() == profiled[name].read_bytes()

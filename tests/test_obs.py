@@ -365,3 +365,151 @@ class TestStormTraces:
             assert side.spans["boot"]["count"] == side.boots
         payload = report.to_dict()
         assert set(payload["squirrel"]["attribution"]["arc"]) == set(ARC_COUNTERS)
+
+
+# -- runtime telemetry ----------------------------------------------------------------
+
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import ProgressReporter, RuntimeProfiler
+
+
+def _ticking_workload(engine, n=50):
+    def proc():
+        for _ in range(n):
+            yield engine.timeout(1.0)
+
+    engine.process(proc(), label="ticker")
+
+
+class TestRuntimeProfiler:
+    def test_engine_observer_counts_events_and_sim_time(self):
+        profiler = RuntimeProfiler()
+        engine = Engine(seed=0)
+        engine.observer = profiler
+        _ticking_workload(engine, n=50)
+        engine.run()
+        stats = profiler.engine_stats()
+        assert stats["runs"] == 1
+        assert stats["events"] == engine.events_processed > 0
+        assert stats["sim_s"] == pytest.approx(50.0)
+        assert stats["wall_s"] > 0
+        assert stats["events_per_s"] > 0
+
+    def test_observer_does_not_change_the_trace(self):
+        def run(observer):
+            engine = Engine(seed=7, trace=True)
+            if observer:
+                engine.observer = RuntimeProfiler()
+            _ticking_workload(engine, n=20)
+            engine.run()
+            return engine.trace
+
+        assert run(False) == run(True)
+
+    def test_tick_fires_on_the_declared_cadence(self):
+        class CountingProfiler(RuntimeProfiler):
+            tick_every = 10
+            ticks = 0
+
+            def tick(self, engine):
+                type(self).ticks += 1
+                super().tick(engine)
+
+        profiler = CountingProfiler()
+        engine = Engine(seed=0)
+        engine.observer = profiler
+        _ticking_workload(engine, n=95)
+        engine.run()
+        # ~1 event per timeout plus process start/end bookkeeping
+        assert CountingProfiler.ticks == engine.events_processed // 10
+
+    def test_phases_accumulate_by_name(self):
+        clock = iter(float(i) for i in range(100))
+        profiler = RuntimeProfiler(clock=lambda: next(clock))
+        with profiler.phase("setup"):
+            pass
+        with profiler.phase("setup"):
+            pass
+        block = profiler.block()
+        assert block["schema"] == "repro.runtime/1"
+        assert block["phases"]["setup"]["count"] == 2
+        assert block["phases"]["setup"]["wall_s"] == pytest.approx(2.0)
+
+    def test_active_registry_attaches_and_detaches(self):
+        engine = Engine(seed=0)
+        obs_runtime.attach(engine)
+        assert engine.observer is None  # no active profiler -> no-op
+        profiler = RuntimeProfiler()
+        with obs_runtime.profiled(profiler):
+            assert obs_runtime.current() is profiler
+            inner = Engine(seed=0)
+            obs_runtime.attach(inner)
+            assert inner.observer is profiler
+        assert obs_runtime.current() is None
+
+    def test_block_shape_is_stable(self):
+        profiler = RuntimeProfiler()
+        profiler.point("seed=0", 0.25)
+        block = profiler.block()
+        assert set(block) == {
+            "schema", "wall_s", "phases", "engine",
+            "rss_high_water_bytes", "points",
+        }
+        assert block["points"] == [
+            {"label": "seed=0", "status": "run", "wall_s": 0.25}
+        ]
+        assert block["rss_high_water_bytes"] is None or (
+            block["rss_high_water_bytes"] > 0
+        )
+
+
+class TestProgressReporter:
+    def _reporter(self, stream):
+        # a fake clock that advances 1 s per call defeats the throttle
+        clock = iter(float(i) for i in range(1000))
+        return ProgressReporter(stream, clock=lambda: next(clock))
+
+    def test_heartbeat_goes_to_the_stream_only(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream)
+        profiler = RuntimeProfiler(progress=reporter)
+        profiler.tick_every = 10
+        engine = Engine(seed=0)
+        engine.observer = profiler
+        _ticking_workload(engine, n=60)
+        with profiler.phase("storm.run"):
+            engine.run()
+        lines = stream.getvalue().splitlines()
+        assert reporter.emitted == len(lines) > 0
+        assert all(line.startswith("[progress] ") for line in lines)
+        assert any("storm.run" in line and "ev/s" in line for line in lines)
+
+    def test_fraction_enables_percent_and_eta(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream)
+        profiler = RuntimeProfiler(progress=reporter)
+        profiler.tick_every = 10
+        engine = Engine(seed=0)
+        engine.observer = profiler
+        _ticking_workload(engine, n=60)
+        reporter.phase("storm.run")
+        reporter.set_fraction(lambda: engine.now / 60.0)
+        engine.run()
+        text = stream.getvalue()
+        assert "%" in text and "eta" in text
+
+    def test_point_done_reports_progress_and_eta(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = self._reporter(stream)
+        reporter.point_done(2, 4, 10.0, workers=2)
+        line = stream.getvalue()
+        assert "sweep 2/4 points" in line
+        assert "avg 5.0s/pt" in line
+        assert "eta 5s" in line

@@ -28,6 +28,8 @@ PACKAGES = [
     "repro.experiments",
     "repro.metrics",
     "repro.sweep",
+    "repro.obs",
+    "repro.slo",
 ]
 
 

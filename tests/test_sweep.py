@@ -383,3 +383,59 @@ class TestUpFrontValidation:
         with pytest.raises(SystemExit):
             main(["fig02", "--nodes", "4"])
         assert "does not accept" in capsys.readouterr().err
+
+
+class TestRuntimeTrailer:
+    """A profiled sweep appends a runtime trailer to the manifest; the
+    trailer is telemetry only — resume and point bytes never see it."""
+
+    def _profiled_sweep(self, manifest, spec, **kwargs):
+        from repro.obs import runtime as obs_runtime
+
+        profiler = obs_runtime.RuntimeProfiler()
+        with obs_runtime.profiled(profiler):
+            result = run_sweep(
+                spec, workers=1, manifest_path=str(manifest),
+                scale=4096.0, **kwargs,
+            )
+        return profiler, result
+
+    def test_trailer_written_and_skipped_on_load(self, tmp_path):
+        import json
+
+        manifest = tmp_path / "sweep.jsonl"
+        spec = _tiny_spec()
+        profiler, _result = self._profiled_sweep(manifest, spec)
+        lines = manifest.read_text().splitlines()
+        assert len(lines) == 3  # 2 points + runtime trailer
+        trailer = json.loads(lines[-1])
+        assert trailer["manifest_version"] == 1
+        assert trailer["runtime"]["schema"] == "repro.runtime/1"
+        # one wall-time record per completed point made it into the block
+        assert [p["label"] for p in trailer["runtime"]["points"]] == [
+            "nodes=2 seed=0", "nodes=2 seed=1",
+        ]
+        assert len(load_manifest(str(manifest), "storm")) == 2
+
+    def test_resume_over_trailer_replays_cleanly(self, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        spec = _tiny_spec()
+        _profiler, full = self._profiled_sweep(manifest, spec)
+        ran = []
+        _again, resumed = self._profiled_sweep(
+            manifest, spec, resume=True,
+            progress=lambda point, status, elapsed: ran.append(status),
+        )
+        assert ran == ["cached", "cached"]
+        assert dumps_canonical(resumed.to_dict()) == dumps_canonical(
+            full.to_dict()
+        )
+
+    def test_unprofiled_sweep_writes_no_trailer(self, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        run_sweep(
+            _tiny_spec(), workers=1, manifest_path=str(manifest), scale=4096.0
+        )
+        lines = manifest.read_text().splitlines()
+        assert len(lines) == 2
+        assert all("manifest_version" not in line for line in lines)
