@@ -136,6 +136,10 @@ class Squirrel:
     #: the same images). Synthesis is pure, so a memoised view is
     #: bit-identical to one built inline — results never depend on it.
     catalog: object | None = None
+    #: optional :class:`~repro.shard.ShardRouter`. ``None`` — the default —
+    #: is the single global dedup domain; every sharded branch below is
+    #: guarded on it, so the ``None`` path stays byte-identical.
+    sharding: object | None = None
 
     # -- time ----------------------------------------------------------------------
 
@@ -177,6 +181,8 @@ class Squirrel:
             vmi_name, 0, min(spec.cache_bytes, spec.nonzero_bytes),
             reader=primary.name, purpose="registration-boot",
         )
+        if self.sharding is not None:
+            return self._register_sharded(spec)
 
         # 2. move the cache from memory into the scVolume
         view = self._cache_view(spec, scvol.record_size)
@@ -240,6 +246,83 @@ class Squirrel:
         self.registrations.append(record)
         return record
 
+    def _register_sharded(self, spec: ImageSpec) -> RegistrationRecord:
+        """Sharded registration: hoard into the image's shard dataset,
+        enforce the shard quota *before* the snapshot (evictions ride the
+        same diff), snapshot the shard's own chain, multicast per shard."""
+        sharding = self.sharding
+        shard = sharding.shard_of(spec.image_id)
+        scds = sharding.scvol.dataset(shard)
+        cache_file = _cache_file_name(spec.image_id)
+
+        view = self._cache_view(spec, scds.record_size)
+        psizes = view.psizes(self.estimator)
+        rows = list(
+            zip(
+                view.signatures.tolist(),
+                view.lsizes.tolist(),
+                psizes.tolist(),
+                view.is_hole.tolist(),
+            )
+        )
+        scds.write_file_virtual(cache_file, rows)
+        sharding.scvol.note_file(shard, cache_file)
+        sharding.note_rehoarded(spec.image_id)
+        evicted = sharding.scvol.ensure_quota(shard, keep=(cache_file,))
+        sharding.note_evicted(
+            shard, [int(name.split("-")[1]) for name in evicted]
+        )
+
+        snap_name = sharding.next_snapshot(shard)
+        previous = scds.latest_snapshot()
+        scds.snapshot(snap_name)
+        sharding.snapshot_days[shard][snap_name] = self.clock_days
+        sharding.scvol.refresh(shard)
+
+        stream = generate_send(
+            scds,
+            snap_name,
+            from_snapshot=previous.name if previous else None,
+            include_payloads=False,
+        )
+        result = self._propagate_sharded(shard, stream)
+        self._registered[spec.image_id] = spec
+        record = RegistrationRecord(
+            image_id=spec.image_id,
+            snapshot=snap_name,
+            diff_bytes=stream.size_bytes,
+            cache_bytes=spec.cache_bytes,
+            registered_day=self.clock_days,
+            propagation_seconds=result.duration_s,
+            receivers=result.n_receivers,
+        )
+        self.registrations.append(record)
+        return record
+
+    def _propagate_sharded(self, shard: str, stream: SendStream):
+        sharding = self.sharding
+        online = self.cluster.online_nodes()
+        ready = [
+            node for node in online
+            if sharding.synced_of(node.name, shard) == stream.from_snapshot
+        ]
+        result = multicast(
+            self.cluster.ledger,
+            self.cluster.storage.primary,
+            [node.node for node in ready],
+            stream.size_bytes,
+            purpose="cache-propagation",
+        )
+        cc = sharding.cc_name(shard)
+        self._apply_replica(
+            ready,
+            ("recv", shard, stream.from_snapshot, stream.to_snapshot),
+            lambda pool: receive(pool.dataset(cc), stream),
+        )
+        for node in ready:
+            sharding.set_synced(node.name, shard, stream.to_snapshot)
+        return result
+
     def _propagate(self, stream: SendStream):
         online = self.cluster.online_nodes()
         # a node that is online but stale (came back from downtime without a
@@ -297,7 +380,16 @@ class Squirrel:
             raise RegistrationError(f"image {image_id} is not registered")
         node = self.cluster.node(node_name)
         cache_file = _cache_file_name(image_id)
-        if node.online and node.ccvolume.has_file(cache_file):
+        if self.sharding is None:
+            hoarded = node.online and node.ccvolume.has_file(cache_file)
+        else:
+            cc = self.sharding.cc_name(self.sharding.shard_of(image_id))
+            hoarded = (
+                node.online
+                and node.pool.has_dataset(cc)
+                and node.pool.dataset(cc).has_file(cache_file)
+            )
+        if hoarded:
             return (
                 BootOutcome(
                     image_id, node_name, cache_hit=True, network_bytes=0,
@@ -349,18 +441,29 @@ class Squirrel:
         the next registration's diff)."""
         if image_id not in self._registered:
             raise RegistrationError(f"image {image_id} is not registered")
+        cache_file = _cache_file_name(image_id)
+        if self.sharding is not None:
+            shard = self.sharding.shard_of(image_id)
+            scds = self.sharding.scvol.dataset(shard)
+            # a quota eviction may already have dropped the hoard
+            if scds.has_file(cache_file):
+                scds.delete_file(cache_file)
+            self.sharding.scvol.forget(shard, cache_file)
+            self.sharding.evicted_images.pop(image_id, None)
+            del self._registered[image_id]
+            return
         scvol = self.cluster.storage.scvolume
-        scvol.delete_file(_cache_file_name(image_id))
+        scvol.delete_file(cache_file)
         if self.placement is not None:
-            self.placement.drop_image(
-                self.cluster, image_id, _cache_file_name(image_id)
-            )
+            self.placement.drop_image(self.cluster, image_id, cache_file)
         del self._registered[image_id]
 
     def collect_garbage(self) -> list[str]:
         """The daily cron job: destroy snapshots older than the window,
         always keeping the latest snapshot regardless of age. Runs on the
         scVolume and every online ccVolume."""
+        if self.sharding is not None:
+            return self._collect_garbage_sharded()
         scvol = self.cluster.storage.scvolume
         snaps = scvol.snapshots()
         if not snaps:
@@ -385,6 +488,40 @@ class Squirrel:
             del self._snapshot_days[name]
         return victims
 
+    def _collect_garbage_sharded(self) -> list[str]:
+        """GC each shard's own snapshot chain; victims come back
+        shard-qualified (``s01@v00003``)."""
+        sharding = self.sharding
+        cutoff = self.clock_days - self.gc_window_days
+        online = self.cluster.online_nodes()
+        collected: list[str] = []
+        for shard in sharding.names:
+            scds = sharding.scvol.dataset(shard)
+            snaps = scds.snapshots()
+            if not snaps:
+                continue
+            days = sharding.snapshot_days[shard]
+            victims = [
+                snap.name
+                for snap in snaps[:-1]  # never the latest
+                if days.get(snap.name, 0.0) < cutoff
+            ]
+            cc = sharding.cc_name(shard)
+            for name in victims:
+                scds.destroy_snapshot(name)
+                self._apply_replica(
+                    online,
+                    ("gcsnap", shard, name),
+                    lambda pool, name=name, cc=cc: pool.dataset(cc)
+                    .destroy_snapshot(name),
+                    when=lambda pool, name=name, cc=cc: pool.has_dataset(cc)
+                    and pool.dataset(cc).has_snapshot(name),
+                )
+                del days[name]
+                collected.append(f"{shard}@{name}")
+            sharding.scvol.refresh(shard)
+        return collected
+
     # -- offline propagation (Section 3.5) -----------------------------------------------
 
     def resync_node(self, node_name: str) -> int:
@@ -401,6 +538,8 @@ class Squirrel:
         """
         node = self.cluster.node(node_name)
         node.online = True
+        if self.sharding is not None:
+            return self._resync_node_sharded(node)
         if self.placement is not None:
             # partial hoarding has no snapshot chain to replay: pull exactly
             # the cache slices the directory assigns this node.
@@ -440,6 +579,92 @@ class Squirrel:
                     .has_snapshot(name),
                 )
         return moved
+
+    def _resync_node_sharded(self, node: ComputeNode) -> int:
+        """Per-shard catch-up: replay each shard's missed incrementals in
+        snapshot order, or re-replicate a shard whose base fell out of its
+        GC window. Shards are visited in plan order (deterministic)."""
+        sharding = self.sharding
+        moved = 0
+        for shard in sharding.names:
+            scds = sharding.scvol.dataset(shard)
+            latest = scds.latest_snapshot()
+            if latest is None:
+                continue
+            base = sharding.synced_of(node.name, shard)
+            if base == latest.name:
+                continue
+            if base is not None and scds.has_snapshot(base):
+                chain = [snap.name for snap in scds.snapshots()]
+                start = chain.index(base)
+                for from_snap, to_snap in zip(chain[start:], chain[start + 1:]):
+                    stream = generate_send(
+                        scds, to_snap, from_snapshot=from_snap,
+                        include_payloads=False,
+                    )
+                    moved += self._ship_to_node_sharded(node, shard, stream)
+            else:
+                self._reset_shard(node, shard)
+                stream = generate_send(
+                    scds, latest.name, include_payloads=False
+                )
+                moved += self._ship_to_node_sharded(node, shard, stream)
+            # drop node-local snapshots GC removed while the node was away
+            cc = sharding.cc_name(shard)
+            for snap in list(node.pool.dataset(cc).snapshots()):
+                if not scds.has_snapshot(snap.name):
+                    self._apply_replica(
+                        [node],
+                        ("gcsnap", shard, snap.name),
+                        lambda pool, name=snap.name, cc=cc: pool.dataset(cc)
+                        .destroy_snapshot(name),
+                        when=lambda pool, name=snap.name, cc=cc: pool
+                        .has_dataset(cc)
+                        and pool.dataset(cc).has_snapshot(name),
+                    )
+        return moved
+
+    def _ship_to_node_sharded(
+        self, node: ComputeNode, shard: str, stream: SendStream
+    ) -> int:
+        """Unicast one shard stream to a node and apply it."""
+        sharding = self.sharding
+        duration = node.node.link.transfer_time(stream.size_bytes)
+        self.cluster.ledger.record(
+            self.cluster.storage.primary.name,
+            node.name,
+            stream.size_bytes,
+            "offline-propagation",
+            duration,
+        )
+        cc = sharding.cc_name(shard)
+        self._apply_replica(
+            [node],
+            ("recv", shard, stream.from_snapshot, stream.to_snapshot),
+            lambda pool: receive(pool.dataset(cc), stream),
+        )
+        sharding.set_synced(node.name, shard, stream.to_snapshot)
+        return stream.size_bytes
+
+    def _reset_shard(self, node: ComputeNode, shard: str) -> None:
+        """Blow away one shard dataset on a node ahead of full replication."""
+        sharding = self.sharding
+        cc = sharding.cc_name(shard)
+        scds = sharding.scvol.dataset(shard)
+        domain = None if sharding.n_shards == 1 else shard
+
+        def reset(pool) -> None:
+            pool.destroy_dataset(cc)
+            pool.create_dataset(
+                cc,
+                record_size=scds.record_size,
+                compression=scds.compression,
+                dedup=True,
+                domain=domain,
+            )
+
+        self._apply_replica([node], ("reset", shard), reset)
+        sharding.set_synced(node.name, shard, None)
 
     def _ship_to_node(self, node: ComputeNode, stream: SendStream) -> int:
         """Unicast one send stream to a node and apply it."""

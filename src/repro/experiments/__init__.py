@@ -22,6 +22,7 @@ from . import (
     fits,
     placement_storm,
     recovery_timeline,
+    shard_storm,
     storm_timeline,
     tab01_storage_chain,
     tab02_os_diversity,
@@ -57,6 +58,7 @@ __all__ = [
     "fig18_network_transfer",
     "fits",
     "placement_storm",
+    "shard_storm",
     "storm_timeline",
     "tab01_storage_chain",
     "tab02_os_diversity",

@@ -14,7 +14,6 @@ Environment knobs (read by :func:`default_context`):
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Literal, Sequence
@@ -37,9 +36,6 @@ from ..vmi.streams import BlockView
 __all__ = ["ExperimentConfig", "ExperimentContext", "default_context", "Subject"]
 
 Subject = Literal["caches", "images"]
-
-#: one deprecation nudge per process, not one per figure experiment
-_warned_dataset_at = False
 
 
 @dataclass(frozen=True)
@@ -90,20 +86,6 @@ class ExperimentContext:
     @property
     def dataset(self) -> AzureCommunityDataset:
         return self.catalog().dataset
-
-    def dataset_at(self, scale: float) -> AzureCommunityDataset:
-        """Deprecated: use :meth:`catalog` — this eager-dataset view no
-        longer pre-builds streams, only the spec table."""
-        global _warned_dataset_at
-        if not _warned_dataset_at:
-            _warned_dataset_at = True
-            warnings.warn(
-                "ExperimentContext.dataset_at(scale) is deprecated; use "
-                "ExperimentContext.catalog(scale) (lazy ImageCatalog)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return self.catalog(scale).dataset
 
     @property
     def specs(self):

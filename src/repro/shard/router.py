@@ -1,0 +1,217 @@
+"""ShardRouter — the state Squirrel consults when the cVolume is sharded.
+
+Attached as ``squirrel.sharding`` (``None`` keeps every code path
+byte-identical to the global-domain baseline). The router owns:
+
+* the :class:`~repro.shard.plan.ShardPlan` (image → shard),
+* the storage-side :class:`~repro.zfs.ShardedPool` over the scVolume,
+  including per-shard quotas and eviction,
+* per-shard snapshot serial counters and snapshot ages (each shard has
+  its own incremental chain),
+* per-(node, shard) sync state (replacing ``ComputeNode.synced_snapshot``
+  while sharded — kept off the interned replicas on purpose: sync state
+  is per node, pool state is per replica),
+* per-tenant boot/ARC tallies feeding the per-tenant hit-rate gauges and
+  the noisy-neighbor report block.
+
+With a single shard the router *adopts* the existing scVolume/ccVolume
+datasets and the global DDT: no new datasets, no new domains — only quota
+enforcement and tenant accounting on top. That is the "global domain with
+quota" contrast side of the ``shards`` experiment.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..core.cluster import CCVOLUME, SCVOLUME
+from ..zfs import ShardedPool
+from .plan import ShardPlan
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Routing + accounting state for a sharded cVolume."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        *,
+        quota_bytes: int = 0,
+        arc_bytes_per_shard: int | None = None,
+        tenants: tuple[int, ...] = (),
+    ) -> None:
+        self.plan = plan
+        self.quota_bytes = int(quota_bytes)
+        #: per-shard ARC slice for TimedSquirrel's per-node caches; ``None``
+        #: falls back to an even split of the node budget
+        self.arc_bytes_per_shard = arc_bytes_per_shard
+        #: known tenant ids (lets the rig pre-create per-tenant metric
+        #: children so expositions cover every tenant from the first scrape)
+        self.tenants = tuple(int(t) for t in tenants)
+        self.scvol: ShardedPool | None = None
+        self._serials = {shard: 0 for shard in plan.names}
+        self.snapshot_days: dict[str, dict[str, float]] = {
+            shard: {} for shard in plan.names
+        }
+        self._synced: dict[str, dict[str, str | None]] = {}
+        self.evicted_images: dict[int, str] = {}
+        self._tenants: dict[int, dict[str, int]] = {}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.plan.names
+
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    def shard_of(self, image_id: int) -> str:
+        return self.plan.shard_of(image_id)
+
+    # -- installation ---------------------------------------------------------
+
+    def cc_name(self, shard: str) -> str:
+        """Node-side dataset name for a shard."""
+        if self.n_shards == 1:
+            return CCVOLUME
+        return f"{CCVOLUME}/{shard}"
+
+    def install(self, squirrel) -> None:
+        """Create the shard datasets (storage + every node's pool).
+
+        Must run before any registration. Single shard adopts the existing
+        volumes; multi-shard creates ``scvol/<s>``/``ccvol/<s>`` datasets,
+        each writing through its own dedup domain.
+        """
+        if self.scvol is not None:
+            raise ConfigError("sharding already installed")
+        if getattr(squirrel, "placement", None) is not None:
+            raise ConfigError(
+                "sharding and placement policies cannot be combined"
+            )
+        cluster = squirrel.cluster
+        pool = cluster.storage.pool
+        template = cluster.storage.scvolume
+        if self.n_shards == 1:
+            self.scvol = ShardedPool.adopt(
+                pool, SCVOLUME, self.names[0], quota_bytes=self.quota_bytes
+            )
+            return
+        self.scvol = ShardedPool.create(
+            pool,
+            SCVOLUME,
+            self.names,
+            record_size=template.record_size,
+            compression=template.compression,
+            quota_bytes=self.quota_bytes,
+        )
+        names = self.names
+        record_size = template.record_size
+        compression = template.compression
+
+        def init(node_pool) -> None:
+            for shard in names:
+                node_pool.create_dataset(
+                    f"{CCVOLUME}/{shard}",
+                    record_size=record_size,
+                    compression=compression,
+                    domain=shard,
+                )
+
+        squirrel._apply_replica(
+            cluster.compute, ("shardinit",) + names, init,
+            when=lambda node_pool: not node_pool.has_dataset(
+                f"{CCVOLUME}/{names[0]}"
+            ),
+        )
+
+    # -- snapshot chains ------------------------------------------------------
+
+    def next_snapshot(self, shard: str) -> str:
+        self._serials[shard] += 1
+        return f"v{self._serials[shard]:05d}"
+
+    # -- per-(node, shard) sync state -----------------------------------------
+
+    def synced_of(self, node_name: str, shard: str) -> str | None:
+        return self._synced.get(node_name, {}).get(shard)
+
+    def set_synced(self, node_name: str, shard: str, snap: str | None) -> None:
+        self._synced.setdefault(node_name, {})[shard] = snap
+
+    def reset_node(self, node_name: str) -> None:
+        self._synced[node_name] = {shard: None for shard in self.names}
+
+    def in_sync(self, node_name: str, shard: str) -> bool:
+        """Whether the node can apply the shard's next incremental."""
+        if self.scvol is None:
+            return False
+        latest = self.scvol.dataset(shard).latest_snapshot()
+        target = latest.name if latest else None
+        return self.synced_of(node_name, shard) == target
+
+    # -- eviction bookkeeping -------------------------------------------------
+
+    def note_evicted(self, shard: str, image_ids: list[int]) -> None:
+        for image_id in image_ids:
+            self.evicted_images[image_id] = shard
+
+    def note_rehoarded(self, image_id: int) -> None:
+        self.evicted_images.pop(image_id, None)
+
+    # -- tenant accounting ----------------------------------------------------
+
+    def _tenant(self, tenant_id: int) -> dict[str, int]:
+        entry = self._tenants.get(tenant_id)
+        if entry is None:
+            entry = self._tenants[tenant_id] = {
+                "boots": 0,
+                "cache_hits": 0,
+                "arc_hits": 0,
+                "arc_misses": 0,
+            }
+        return entry
+
+    def note_tenant_boot(self, tenant_id: int, cache_hit: bool) -> None:
+        entry = self._tenant(tenant_id)
+        entry["boots"] += 1
+        if cache_hit:
+            entry["cache_hits"] += 1
+
+    def note_tenant_arc(self, tenant_id: int, hits: int, misses: int) -> None:
+        entry = self._tenant(tenant_id)
+        entry["arc_hits"] += hits
+        entry["arc_misses"] += misses
+
+    def tenant_hit_rate(self, tenant_id: int) -> float:
+        entry = self._tenants.get(tenant_id)
+        if not entry:
+            return 0.0
+        lookups = entry["arc_hits"] + entry["arc_misses"]
+        return entry["arc_hits"] / lookups if lookups else 0.0
+
+    def tenant_stats(self) -> dict[int, dict]:
+        """Per-tenant tallies plus the derived ARC hit rate."""
+        out: dict[int, dict] = {}
+        for tenant_id in sorted(self._tenants):
+            entry = dict(self._tenants[tenant_id])
+            entry["hit_rate"] = self.tenant_hit_rate(tenant_id)
+            out[tenant_id] = entry
+        return out
+
+    # -- reporting ------------------------------------------------------------
+
+    def shard_block(self) -> dict:
+        """The canonical ``sharding`` report block."""
+        scvol = self.scvol
+        block = {
+            "plan": self.plan.to_dict(),
+            "quota_bytes": self.quota_bytes,
+            "evicted_images": len(self.evicted_images),
+        }
+        if scvol is not None:
+            block["scvolume"] = scvol.shard_stats()
+            block["dedup_loss_bytes"] = scvol.dedup_loss_bytes()
+            block["duplicate_entries"] = scvol.duplicate_entries()
+        return block

@@ -1,0 +1,103 @@
+"""Pairwise shared-grain weights between synthesised images.
+
+The synthesiser builds image content from structured grain pools
+(:mod:`repro.vmi.pools`): a per-release master (boot region + base body),
+family-wide shared runs within the master (``release.family_share``), one
+global package pool feeding the user region, and image-private grains. The
+expected shared-grain count between two images is therefore a closed-form
+function of their :class:`~repro.vmi.image.ImageSpec` metadata — no streams
+need to be materialised, so grouping a 10k-image catalogue stays cheap and
+exactly deterministic.
+
+Model, in grains (expectations over the synthesiser's random draws):
+
+* same release — both images copy the release master; a master grain
+  survives in an image with probability ``1 - mutation rate``, so the
+  joint overlap of the boot and base-body regions scales by the product
+  of the two survival rates;
+* same family, different release — as above, scaled by the release's
+  ``family_share`` (the fraction of master grains drawn from the
+  family-wide pool rather than minted per release);
+* any pair — user regions draw ``package_fraction`` of their grains from
+  the one global package pool with Zipf-ish popularity; two draws overlap
+  in roughly :data:`PACKAGE_POOL_OVERLAP` of the smaller draw.
+
+Weights normalise shared grains by the smaller image's hoardable content,
+giving a symmetric similarity in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from ..vmi.image import ImageSpec
+
+__all__ = ["SimilarityGraph", "hoard_grains", "shared_grains", "weight"]
+
+#: expected fraction of the smaller of two package-pool draws that the
+#: larger draw also contains (popular packages dominate both draws)
+PACKAGE_POOL_OVERLAP = 0.5
+
+
+def _package_grains(spec: ImageSpec) -> float:
+    return spec.user_grains * spec.package_fraction
+
+
+def hoard_grains(spec: ImageSpec) -> float:
+    """Grains of an image that can deduplicate against *some* other image:
+    the boot cache, the base body, and the package-pool share of the user
+    region (image-private grains never dedup, so they don't count)."""
+    return spec.cache_grains + spec.base_body_grains + _package_grains(spec)
+
+
+def shared_grains(a: ImageSpec, b: ImageSpec) -> float:
+    """Expected grains images ``a`` and ``b`` have in common."""
+    if a.image_id == b.image_id:
+        return hoard_grains(a)
+    master = 0.0
+    if a.release.family == b.release.family:
+        boot = (
+            min(a.cache_grains, b.cache_grains)
+            * (1.0 - a.mutation.boot_rate)
+            * (1.0 - b.mutation.boot_rate)
+        )
+        body = (
+            min(a.base_body_grains, b.base_body_grains)
+            * (1.0 - a.mutation.body_rate)
+            * (1.0 - b.mutation.body_rate)
+        )
+        master = boot + body
+        if a.release.name != b.release.name:
+            master *= a.release.family_share
+    packages = PACKAGE_POOL_OVERLAP * min(_package_grains(a), _package_grains(b))
+    return master + packages
+
+
+def weight(a: ImageSpec, b: ImageSpec) -> float:
+    """Symmetric similarity in ``[0, 1]``: shared grains over the smaller
+    image's hoardable grains."""
+    floor = min(hoard_grains(a), hoard_grains(b))
+    if floor <= 0:
+        return 0.0
+    return min(1.0, shared_grains(a, b) / floor)
+
+
+class SimilarityGraph:
+    """Dense pairwise weights over a spec list (index-addressed)."""
+
+    def __init__(self, specs: list[ImageSpec]) -> None:
+        self.specs = list(specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def weight(self, i: int, j: int) -> float:
+        return weight(self.specs[i], self.specs[j])
+
+    def edges(self, threshold: float = 0.0) -> list[tuple[int, int, float]]:
+        """All pairs ``(i, j, w)`` with ``i < j`` and ``w >= threshold``."""
+        out = []
+        for i in range(len(self.specs)):
+            for j in range(i + 1, len(self.specs)):
+                w = self.weight(i, j)
+                if w >= threshold:
+                    out.append((i, j, w))
+        return out

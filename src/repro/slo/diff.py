@@ -28,7 +28,8 @@ from ..common.errors import ConfigError
 
 __all__ = ["DiffEntry", "diff_payloads", "parse_tolerance", "render_diff"]
 
-_HIGHER_BETTER = ("per_s", "per_second", "ops", "rate", "throughput", "hit")
+_HIGHER_BETTER = ("per_s", "per_second", "ops", "rate", "throughput", "hit",
+                  "hit_rate", "ratio")
 _LOWER_BETTER = ("seconds", "latency", "elapsed", "wall", "rss", "bytes",
                  "misses")
 

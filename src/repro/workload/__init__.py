@@ -20,6 +20,7 @@ from .scenarios import (
     steady_state_day,
     storm_image_count,
 )
+from .sharding import ShardStormOutcome, shard_storm
 from .tenants import Tenant, TenantPopulation
 
 __all__ = [
@@ -29,12 +30,14 @@ __all__ = [
     "DayConfig",
     "DayReport",
     "StormConfig",
+    "ShardStormOutcome",
     "StormReport",
     "StormSide",
     "Tenant",
     "TenantPopulation",
     "TimedSquirrel",
     "boot_storm",
+    "shard_storm",
     "diurnal_arrivals",
     "flash_crowd_arrivals",
     "poisson_arrivals",

@@ -76,7 +76,7 @@ from ..vmi import (
     as_catalog,
     make_estimator,
 )
-from ..zfs import AdaptiveReplacementCache
+from ..zfs import AdaptiveReplacementCache, ArcStats
 from ..placement import (
     TRANSPORT_NAMES,
     PlacementContext,
@@ -172,6 +172,72 @@ class _BootTrace:
         self.open_spans.clear()
 
 
+class _ShardedNodeArc:
+    """A node's boot ARC partitioned by shard: one independent
+    :class:`~repro.zfs.AdaptiveReplacementCache` per shard, keyed through the
+    shard plan. This is the RAM half of noisy-neighbor isolation — a tenant
+    whose images all land in one shard can only thrash that shard's slice.
+
+    The aggregate surface (``stats``/``p``/``resident_bytes``/``clear``)
+    matches the plain ARC, so timeline gauges, the ``_fleet`` sweep, and the
+    fault injector's crash-wipe work unchanged."""
+
+    __slots__ = ("plan", "shards")
+
+    def __init__(self, plan, bytes_per_shard: int) -> None:
+        self.plan = plan
+        self.shards: dict[str, AdaptiveReplacementCache] = {
+            shard: AdaptiveReplacementCache(bytes_per_shard)
+            for shard in plan.names
+        }
+
+    def _arc(self, key) -> AdaptiveReplacementCache:
+        # boot ARC keys are (image_id, block_index); route by image
+        return self.shards[self.plan.shard_of(key[0])]
+
+    def get(self, key):
+        return self._arc(key).get(key)
+
+    def put(self, key, value, size: int) -> None:
+        self._arc(key).put(key, value, size)
+
+    def clear(self) -> None:
+        for arc in self.shards.values():
+            arc.clear()
+
+    @property
+    def p(self) -> int:
+        return sum(arc.p for arc in self.shards.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(arc.resident_bytes for arc in self.shards.values())
+
+    @property
+    def stats(self) -> ArcStats:
+        total = ArcStats()
+        for arc in self.shards.values():
+            s = arc.stats
+            total.hits += s.hits
+            total.misses += s.misses
+            total.t1_hits += s.t1_hits
+            total.t2_hits += s.t2_hits
+            total.b1_ghost_hits += s.b1_ghost_hits
+            total.b2_ghost_hits += s.b2_ghost_hits
+            total.t1_evictions += s.t1_evictions
+            total.t2_evictions += s.t2_evictions
+        return total
+
+
+def _node_shard_ddt_core(pool, shard: str, single: bool) -> float:
+    """Resident DDT bytes of one shard's dedup domain on a node pool,
+    without creating the domain (scrapes must never mutate)."""
+    if single:
+        return float(pool.ddt.in_core_bytes)
+    ddt = pool.peek_domain_ddt(shard)
+    return float(ddt.in_core_bytes) if ddt is not None else 0.0
+
+
 class TimedSquirrel:
     """Drives Squirrel operations through the event engine's resources."""
 
@@ -224,11 +290,24 @@ class TimedSquirrel:
             for node in cluster.compute
         }
         #: per-node in-memory ARC over cVolume blocks (decompressed records,
-        #: charged at paper-scale bytes); a node crash wipes it
-        self.arc: dict[str, AdaptiveReplacementCache] = {
-            node.name: AdaptiveReplacementCache(arc_bytes_per_node)
-            for node in cluster.compute
-        }
+        #: charged at paper-scale bytes); a node crash wipes it. Sharded rigs
+        #: partition each node's ARC per shard (quota paper bytes when a
+        #: quota is set, else an even split of the node budget) so one
+        #: tenant's churn cannot evict another shard's residents.
+        sharding = squirrel.sharding
+        if sharding is None:
+            self.arc: dict[str, AdaptiveReplacementCache] = {
+                node.name: AdaptiveReplacementCache(arc_bytes_per_node)
+                for node in cluster.compute
+            }
+        else:
+            per_shard = sharding.arc_bytes_per_shard or max(
+                1, arc_bytes_per_node // sharding.n_shards
+            )
+            self.arc = {
+                node.name: _ShardedNodeArc(sharding.plan, per_shard)
+                for node in cluster.compute
+            }
         #: per-block ZFS pipeline costs (shared with the Figure 11 backend)
         self.zfs_costs = ZfsCostModel()
         #: fault-injection hooks: the injector attaches itself here and
@@ -557,6 +636,209 @@ class TimedSquirrel:
                 "placement_images_tracked",
                 "Images tracked by the placement directory",
             ).set_function(lambda d=directory: float(len(d.images())))
+        # sharding instruments exist only when a ShardRouter is attached —
+        # an unsharded rig's metrics block stays byte-identical to
+        # pre-sharding builds.
+        sharding = self.squirrel.sharding
+        if sharding is not None:
+            shards = list(sharding.names)
+            single = sharding.n_shards == 1
+            # per-tenant families: the tenant axis is capped the same way
+            # the node axis is — detail children for the first
+            # METRICS_NODE_DETAIL tenants, a shared "_other" child beyond
+            # (fleet sums stay exact), and no gauge series past the cap.
+            tenant_ids = [int(t) for t in getattr(sharding, "tenants", ())]
+            detail_ids = tenant_ids[:METRICS_NODE_DETAIL]
+            self._tenant_detail = frozenset(
+                f"t{t:02d}" for t in detail_ids
+            )
+            self._tenant_capped = len(tenant_ids) > len(detail_ids)
+            self._m_tenant_boots = m.counter(
+                "squirrel_tenant_boots_total",
+                "Completed VM boots per tenant",
+                labels=("tenant",),
+            )
+            self._m_tenant_cache_hits = m.counter(
+                "squirrel_tenant_cache_hits_total",
+                "Per-tenant boots served from the node's cVolume cache",
+                labels=("tenant",),
+            )
+            self._m_tenant_arc_hits = m.counter(
+                "squirrel_tenant_arc_hits_total",
+                "Per-tenant ARC record hits during warm boots",
+                labels=("tenant",),
+            )
+            self._m_tenant_arc_misses = m.counter(
+                "squirrel_tenant_arc_misses_total",
+                "Per-tenant ARC record misses during warm boots",
+                labels=("tenant",),
+            )
+            tenant_labels = [f"t{t:02d}" for t in detail_ids]
+            for label in tenant_labels + (
+                ["_other"] if self._tenant_capped else []
+            ):
+                for family in (
+                    self._m_tenant_boots, self._m_tenant_cache_hits,
+                    self._m_tenant_arc_hits, self._m_tenant_arc_misses,
+                ):
+                    family.labels(tenant=label)
+            tenant_rate = m.gauge(
+                "squirrel_tenant_hit_rate",
+                "Lifetime per-tenant ARC hit rate (the noisy-neighbor SLO)",
+                labels=("tenant",),
+            )
+            for t in detail_ids:
+                tenant_rate.labels(tenant=f"t{t:02d}").set_function(
+                    lambda s=sharding, t=t: float(s.tenant_hit_rate(t))
+                )
+            # per-(node, shard) ARC counters, folded past the node cap
+            self._m_shard_arc_hits = m.counter(
+                "zfs_shard_arc_hits_total",
+                "ARC hits within one shard's slice of a node ARC",
+                labels=("node", "shard"),
+            )
+            self._m_shard_arc_misses = m.counter(
+                "zfs_shard_arc_misses_total",
+                "ARC misses within one shard's slice of a node ARC",
+                labels=("node", "shard"),
+            )
+            for name in names + (["_other"] if self._capped else []):
+                for shard in shards:
+                    self._m_shard_arc_hits.labels(node=name, shard=shard)
+                    self._m_shard_arc_misses.labels(node=name, shard=shard)
+            shard_resident = m.gauge(
+                "zfs_shard_arc_resident_bytes",
+                "Bytes resident in one shard's ARC slice (paper-scale)",
+                labels=("node", "shard"),
+            )
+            shard_rate = m.gauge(
+                "zfs_shard_arc_hit_rate",
+                "Lifetime hit rate of one shard's ARC slice",
+                labels=("node", "shard"),
+            )
+            shard_node_core = m.gauge(
+                "zfs_shard_node_ddt_core_bytes",
+                "Resident DDT bytes of a shard's dedup domain on a node",
+                labels=("node", "shard"),
+            )
+            for node in cluster.compute[:METRICS_NODE_DETAIL]:
+                arcs = self.arc[node.name].shards
+                for shard in shards:
+                    arc = arcs[shard]
+                    shard_resident.labels(
+                        node=node.name, shard=shard
+                    ).set_function(lambda a=arc: float(a.resident_bytes))
+                    shard_rate.labels(
+                        node=node.name, shard=shard
+                    ).set_function(lambda a=arc: float(a.stats.hit_rate))
+                    shard_node_core.labels(
+                        node=node.name, shard=shard
+                    ).set_function(
+                        lambda n=node, s=shard, single=single:
+                        _node_shard_ddt_core(n.pool, s, single)
+                    )
+            if self._capped:
+                # one per-shard fleet aggregate replaces the dropped
+                # per-node series; both sums share one per-timestamp sweep
+                shard_sweep: dict = {"now": None, "vals": {}}
+
+                def _shard_fleet(idx, shard, cache=shard_sweep,
+                                 nodes=cluster.compute, arcs=self.arc,
+                                 engine=self.engine, shards=tuple(shards),
+                                 single=single):
+                    if cache["now"] != engine.now:
+                        vals = {}
+                        for s in shards:
+                            resident = float(sum(
+                                arcs[n.name].shards[s].resident_bytes
+                                for n in nodes
+                            ))
+                            core = float(sum(
+                                _node_shard_ddt_core(n.pool, s, single)
+                                for n in nodes
+                            ))
+                            vals[s] = (resident, core)
+                        cache["now"] = engine.now
+                        cache["vals"] = vals
+                    return cache["vals"][shard][idx]
+
+                for shard in shards:
+                    shard_resident.labels(
+                        node="_fleet", shard=shard
+                    ).set_function(lambda s=shard: _shard_fleet(0, s))
+                    shard_node_core.labels(
+                        node="_fleet", shard=shard
+                    ).set_function(lambda s=shard: _shard_fleet(1, s))
+            # storage-side per-shard families over the scVolume's domains
+            sp = sharding.scvol
+            shard_entries = m.gauge(
+                "zfs_shard_ddt_entries",
+                "scVolume DDT entries in one shard's dedup domain",
+                labels=("shard",),
+            )
+            shard_core = m.gauge(
+                "zfs_shard_ddt_core_bytes",
+                "scVolume DDT resident RAM per shard",
+                labels=("shard",),
+            )
+            shard_core_high = m.gauge(
+                "zfs_shard_ddt_core_high_bytes",
+                "High-water mark of a shard DDT's resident RAM",
+                labels=("shard",),
+            )
+            shard_pressure = m.gauge(
+                "zfs_shard_quota_pressure",
+                "Shard referenced bytes over its byte quota",
+                labels=("shard",),
+            )
+            # lifetime totals read off the router (callback gauges, like
+            # net_pipe_moved_bytes): evictions happen inside untimed setup
+            # registrations too, which manual counters would miss
+            shard_evictions = m.gauge(
+                "zfs_shard_quota_evictions_total",
+                "Lifetime hoards evicted to honour a shard quota",
+                labels=("shard",),
+            )
+            shard_evicted_bytes = m.gauge(
+                "zfs_shard_quota_evicted_bytes_total",
+                "Lifetime bytes reclaimed by shard-quota evictions "
+                "(scaled units)",
+                labels=("shard",),
+            )
+            for shard in shards:
+                shard_entries.labels(shard=shard).set_function(
+                    lambda sp=sp, s=shard: float(sp.ddt(s).entry_count)
+                )
+                shard_core.labels(shard=shard).set_function(
+                    lambda sp=sp, s=shard: float(sp.ddt(s).in_core_bytes)
+                )
+                # the stored high-water only advances on refresh(); fold in
+                # the live value so scrapes between refreshes stay monotone
+                # without mutating router state
+                shard_core_high.labels(shard=shard).set_function(
+                    lambda sp=sp, s=shard: float(max(
+                        sp.ddt_core_high_bytes(s), sp.ddt(s).in_core_bytes
+                    ))
+                )
+                shard_pressure.labels(shard=shard).set_function(
+                    lambda sp=sp, s=shard: float(sp.quota_pressure(s))
+                )
+                shard_evictions.labels(shard=shard).set_function(
+                    lambda sp=sp, s=shard: float(sp.evictions(s))
+                )
+                shard_evicted_bytes.labels(shard=shard).set_function(
+                    lambda sp=sp, s=shard: float(sp.evicted_bytes(s))
+                )
+            m.gauge(
+                "zfs_shard_dedup_loss_bytes",
+                "Bytes stored once per shard that a global DDT would share",
+            ).set_function(lambda sp=sp: float(sp.dedup_loss_bytes()))
+
+    def _tenant_label(self, tenant_id: int) -> str:
+        """Metric label for a tenant, folded past the detail cap the same
+        way node labels are."""
+        label = f"t{tenant_id:02d}"
+        return label if label in self._tenant_detail else "_other"
 
     def _node_label(self, node_name: str) -> str:
         """Metric label for a compute node: its own name inside the
@@ -591,20 +873,23 @@ class TimedSquirrel:
 
     # -- timed operations (each returns a yieldable Process) ----------------------
 
-    def boot(self, image_id: int, node_name: str, *, force_cold: bool = False):
+    def boot(self, image_id: int, node_name: str, *, force_cold: bool = False,
+             tenant: int | None = None):
         """One timed VM boot; observes ``boot_latency_s`` (and, when a fault
         got in the way, ``recovery_s``). Registered with the in-flight
-        registry so the fault injector can preempt it."""
+        registry so the fault injector can preempt it. ``tenant`` feeds the
+        per-tenant accounting of a sharded rig and is ignored otherwise."""
         handle = _InflightBoot(node_name)
         process = self.engine.process(
-            self._boot(image_id, node_name, force_cold, handle),
+            self._boot(image_id, node_name, force_cold, handle, tenant),
             label=f"boot:{node_name}:{image_id}",
         )
         handle.process = process
         self._inflight[node_name][handle] = None
         return process
 
-    def _boot(self, image_id: int, node_name: str, force_cold: bool, handle):
+    def _boot(self, image_id: int, node_name: str, force_cold: bool, handle,
+              tenant: int | None = None):
         engine = self.engine
         t0 = engine.now
         self.timeline.count("boots")
@@ -631,7 +916,7 @@ class TimedSquirrel:
                         bt.att.charge("wait_s")
                         wait_span.end()
                     cache_hit = yield from self._attempt(
-                        image_id, node_name, force_cold, handle, bt
+                        image_id, node_name, force_cold, handle, bt, tenant
                     )
                     break
                 except Interrupted as fault:
@@ -653,6 +938,13 @@ class TimedSquirrel:
         (self._m_cache_hits if cache_hit else self._m_cold).labels(
             node=self._node_label(node_name)
         ).inc()
+        sharding = self.squirrel.sharding
+        if sharding is not None and tenant is not None:
+            sharding.note_tenant_boot(tenant, cache_hit)
+            label = self._tenant_label(tenant)
+            self._m_tenant_boots.labels(tenant=label).inc()
+            if cache_hit:
+                self._m_tenant_cache_hits.labels(tenant=label).inc()
         self._m_boot_latency.observe(engine.now - t0)
         bt.att.observe(self.timeline)
         bt.root.end(
@@ -663,7 +955,8 @@ class TimedSquirrel:
             self._m_recovery.observe(engine.now - first_fail)
         return engine.now - t0
 
-    def _attempt(self, image_id, node_name, force_cold: bool, handle, bt):
+    def _attempt(self, image_id, node_name, force_cold: bool, handle, bt,
+                 tenant: int | None = None):
         """One boot attempt (the pre-fault boot path, verbatim)."""
         outcome = None
         if force_cold:
@@ -680,7 +973,7 @@ class TimedSquirrel:
             moved = outcome.network_bytes
             cache_hit = outcome.cache_hit
         if cache_hit:
-            yield from self._warm_read(image_id, node_name, bt)
+            yield from self._warm_read(image_id, node_name, bt, tenant)
         elif outcome is not None and outcome.source == "peer":
             yield from self._peer_fetch(outcome, node_name, handle, bt)
         else:
@@ -699,12 +992,21 @@ class TimedSquirrel:
         record = self.squirrel.cluster.storage.scvolume.record_size
         return max(1, int(self.scale_up(logical_bytes)) // record)
 
-    def _warm_read(self, image_id: int, node_name: str, bt):
+    def _warm_read(self, image_id: int, node_name: str, bt,
+                   tenant: int | None = None):
         """Cache hit: resolve each cVolume block through the node's ARC;
         misses read the compressed record off the local pool and decompress
         it — zero network involvement either way."""
         node = self.squirrel.cluster.node(node_name)
-        cache = node.ccvolume.file(self.squirrel.cache_file_of(image_id))
+        sharding = self.squirrel.sharding
+        if sharding is None:
+            shard = None
+            cache = node.ccvolume.file(self.squirrel.cache_file_of(image_id))
+        else:
+            shard = sharding.shard_of(image_id)
+            cache = node.pool.dataset(sharding.cc_name(shard)).file(
+                self.squirrel.cache_file_of(image_id)
+            )
         arc = self.arc[node_name]
         before = arc.stats.as_dict()
         lookup = bt.child("arc.lookup", image_id=image_id)
@@ -750,6 +1052,23 @@ class TimedSquirrel:
         self._m_arc_evictions.labels(node=node_label, tier="t2").inc(
             delta["t2_evictions"]
         )
+        if shard is not None:
+            shard_hits = delta["t1_hits"] + delta["t2_hits"]
+            self._m_shard_arc_hits.labels(
+                node=node_label, shard=shard
+            ).inc(shard_hits)
+            self._m_shard_arc_misses.labels(
+                node=node_label, shard=shard
+            ).inc(delta["misses"])
+            if tenant is not None:
+                sharding.note_tenant_arc(tenant, shard_hits, delta["misses"])
+                tenant_label = self._tenant_label(tenant)
+                self._m_tenant_arc_hits.labels(tenant=tenant_label).inc(
+                    shard_hits
+                )
+                self._m_tenant_arc_misses.labels(tenant=tenant_label).inc(
+                    delta["misses"]
+                )
         self.timeline.gauge(f"arc_p:{node_name}", arc.p)
         self.timeline.gauge(f"arc_resident:{node_name}", arc.resident_bytes)
         # the block-pointer walk + DDT/ZAP lookup for every record of the
@@ -909,7 +1228,15 @@ class TimedSquirrel:
         # boot-once on a storage node + snapshot, then the accounting call
         yield engine.timeout(REGISTRATION_BOOT_SECONDS + SNAPSHOT_CREATE_SECONDS)
         self._sync_clock()
+        sharding = self.squirrel.sharding
+        if sharding is not None:
+            shard = sharding.shard_of(spec.image_id)
+            ev0 = sharding.scvol.evictions(shard)
         record = self.squirrel.register(spec)
+        if sharding is not None:
+            evicted = sharding.scvol.evictions(shard) - ev0
+            if evicted:
+                self.timeline.count("shard_quota_evictions", evicted)
         placement = self.squirrel.placement
         if placement is not None and placement.last_seed is not None:
             yield from self._seed_flows(spec, placement, span)
@@ -990,8 +1317,21 @@ class TimedSquirrel:
         self._sync_clock()
         node = self.squirrel.cluster.node(node_name)
         scvol = self.squirrel.cluster.storage.scvolume
-        base = node.synced_snapshot
-        incremental = base is not None and scvol.has_snapshot(base)
+        sharding = self.squirrel.sharding
+        if sharding is not None:
+            # incremental iff every shard with history can replay its own
+            # chain from this node's per-shard sync point
+            states = []
+            for shard in sharding.names:
+                scds = sharding.scvol.dataset(shard)
+                if scds.latest_snapshot() is None:
+                    continue
+                base = sharding.synced_of(node_name, shard)
+                states.append(base is not None and scds.has_snapshot(base))
+            incremental = bool(states) and all(states)
+        else:
+            base = node.synced_snapshot
+            incremental = base is not None and scvol.has_snapshot(base)
         moved = self.squirrel.resync_node(node_name)
         if moved:
             self.timeline.count("resync_bytes", moved)
@@ -1082,6 +1422,7 @@ def _build_rig(
     dataset: AzureCommunityDataset | ImageCatalog | None = None,
     estimator=None,
     placement_factory=None,
+    sharding_factory=None,
 ) -> _Rig:
     catalog = as_catalog(dataset) or LazyImageCatalog(DatasetConfig(scale=scale))
     cluster = IaaSCluster.build(
@@ -1094,6 +1435,12 @@ def _build_rig(
     if placement_factory is not None:
         # attach before TimedSquirrel so _instrument sees the coordinator
         squirrel.placement = placement_factory(squirrel)
+    if sharding_factory is not None:
+        # attach + install before TimedSquirrel: _instrument reads the
+        # router's shard datasets, and the per-node ARC layout depends on it
+        router = sharding_factory(squirrel)
+        squirrel.sharding = router
+        router.install(squirrel)
     engine = Engine(seed=seed, trace=trace)
     # runtime telemetry (read-only observer; no-op without an active
     # profiler): phase timers + events/s + the --progress heartbeat
@@ -1188,7 +1535,11 @@ class StormReport(ReportBase):
 
 
 def _storm_trace(config: StormConfig, n_images: int):
-    """The (arrival, node, image) trace — shared by both sides."""
+    """The (arrival, node, image, tenant) trace — shared by both sides.
+
+    The tenant id rides along so sharded runs can attribute per-tenant
+    hit rates; unsharded consumers ignore it (the sampling sequence is
+    unchanged, so existing reports stay byte-identical)."""
     n_vms = config.n_nodes * config.vms_per_node
     rng = rng_stream("workload-storm", config.seed)
     times = flash_crowd_arrivals(rng, n_vms=n_vms, ramp_s=config.ramp_s)
@@ -1200,9 +1551,9 @@ def _storm_trace(config: StormConfig, n_images: int):
     )
     plan = []
     for index, t in enumerate(times):
-        _tenant, image_id = tenants.sample(rng)
+        tenant, image_id = tenants.sample(rng)
         node_name = f"compute{index % config.n_nodes}"
-        plan.append((float(t), node_name, image_id))
+        plan.append((float(t), node_name, image_id, int(tenant.tenant_id)))
     return plan
 
 
@@ -1246,7 +1597,7 @@ def storm_image_count(
     plan = _storm_trace(
         config, min(config.n_nodes * config.vms_per_node, len(dataset))
     )
-    return max(image_id for _, _, image_id in plan) + 1
+    return max(image_id for _, _, image_id, _ in plan) + 1
 
 
 def _run_storm_side(
@@ -1258,8 +1609,10 @@ def _run_storm_side(
     plan,
     placement: PlacementSpec | None = None,
     placement_sink=None,
+    sharding_factory=None,
+    sharding_sink=None,
 ) -> tuple[StormSide, SpanTracer]:
-    n_images = max(image_id for _, _, image_id in plan) + 1
+    n_images = max(image_id for _, _, image_id, _ in plan) + 1
     side_name = "squirrel" if with_caches else "baseline"
     with obs_runtime.phase(f"storm.setup.{side_name}"):
         rig = _build_rig(
@@ -1278,6 +1631,9 @@ def _run_storm_side(
                 if with_caches and placement is not None
                 else None
             ),
+            sharding_factory=(
+                sharding_factory if with_caches else None
+            ),
         )
         squirrel, engine, timeline, timed = (
             rig.squirrel, rig.engine, rig.timeline, rig.timed,
@@ -1294,13 +1650,17 @@ def _run_storm_side(
         if config.faults is not None:
             FaultInjector(timed, config.faults).start()
 
-        def vm(at, node_name, image_id):
+        def vm(at, node_name, image_id, tenant):
             yield engine.timeout(at)
-            yield timed.boot(image_id, node_name, force_cold=not with_caches)
+            yield timed.boot(
+                image_id, node_name, force_cold=not with_caches,
+                tenant=tenant,
+            )
 
-        for at, node_name, image_id in plan:
+        for at, node_name, image_id, tenant in plan:
             engine.process(
-                vm(at, node_name, image_id), label=f"vm:{node_name}:{image_id}"
+                vm(at, node_name, image_id, tenant),
+                label=f"vm:{node_name}:{image_id}",
             )
     with obs_runtime.phase(f"storm.run.{side_name}"):
         # the heartbeat's horizon: boots completed over boots planned
@@ -1328,6 +1688,8 @@ def _run_storm_side(
     )
     if placement_sink is not None and squirrel.placement is not None:
         placement_sink(squirrel.placement)
+    if sharding_sink is not None and squirrel.sharding is not None:
+        sharding_sink(squirrel.sharding)
     return side, timed.tracer
 
 
@@ -1339,6 +1701,8 @@ def boot_storm(
     trace_path=None,
     placement: PlacementSpec | None = None,
     placement_sink=None,
+    sharding_factory=None,
+    sharding_sink=None,
 ) -> StormReport:
     """Run the same flash crowd with Squirrel and without caches.
 
@@ -1353,6 +1717,11 @@ def boot_storm(
     given, receives that side's coordinator after the run so callers can
     read its tallies. ``placement=None`` is the paper baseline and is
     byte-identical to pre-placement behaviour.
+
+    ``sharding_factory`` (``squirrel -> ShardRouter``) shards the Squirrel
+    side's cVolume; ``sharding_sink`` receives the router after that side
+    runs. ``sharding_factory=None`` keeps the run byte-identical to the
+    unsharded storm.
     """
     if config.n_nodes < 1 or config.vms_per_node < 1:
         raise ConfigError("storm needs at least one node and one VM")
@@ -1373,6 +1742,7 @@ def boot_storm(
             config, with_caches=with_caches, catalog=catalog,
             estimator=estimator, plan=plan, placement=placement,
             placement_sink=placement_sink,
+            sharding_factory=sharding_factory, sharding_sink=sharding_sink,
         )
         sides[with_caches] = side
         tracers["squirrel" if with_caches else "baseline"] = tracer

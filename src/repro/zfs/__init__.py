@@ -20,6 +20,7 @@ from .dmu import FileObject
 from .pool import PoolStats, ZPool
 from .scrub import ScrubReport, scrub
 from .send import RecordKind, SendRecord, SendStream, generate_send, receive
+from .sharded import ShardedPool
 from .spa import SECTOR_SIZE, SpaceMap
 from .zio import WriteResult, ZioPipeline
 
@@ -40,6 +41,7 @@ __all__ = [
     "ScrubReport",
     "SendRecord",
     "SendStream",
+    "ShardedPool",
     "Snapshot",
     "SpaceMap",
     "WriteResult",

@@ -62,6 +62,7 @@ class Dataset:
         record_size: int,
         compression: str = "gzip6",
         dedup: bool = True,
+        zio=None,
     ) -> None:
         validate_block_size(record_size, grain=512)
         self.pool = pool
@@ -69,6 +70,10 @@ class Dataset:
         self.record_size = record_size
         self.compression = compression
         self.dedup = dedup
+        #: the I/O pipeline this dataset writes through. Defaults to the
+        #: pool's global pipeline (one shared dedup domain); a sharded pool
+        #: hands each shard dataset the pipeline of its own dedup domain.
+        self.zio = zio if zio is not None else pool.zio
         self._files: dict[str, FileObject] = {}
         self._snapshots: list[Snapshot] = []  # oldest -> newest
         self._snap_by_name: dict[str, Snapshot] = {}
@@ -108,7 +113,7 @@ class Dataset:
             )
         obj = self._files.get(file_name) or self.create_file(file_name)
         txg = self.pool.advance_txg()
-        result = self.pool.zio.write_bytes(
+        result = self.zio.write_bytes(
             data, txg=txg, compression=self.compression, dedup=self.dedup
         )
         old = obj.set_block(index, result.bp)
@@ -128,7 +133,7 @@ class Dataset:
         """Write one record of procedural content (accounting path)."""
         obj = self._files.get(file_name) or self.create_file(file_name)
         txg = self.pool.advance_txg()
-        result = self.pool.zio.write_virtual(
+        result = self.zio.write_virtual(
             signature,
             lsize=lsize,
             psize=psize,
@@ -150,7 +155,7 @@ class Dataset:
         for index in range(n_blocks):
             chunk = data[index * self.record_size : (index + 1) * self.record_size]
             txg = self.pool.advance_txg()
-            result = self.pool.zio.write_bytes(
+            result = self.zio.write_bytes(
                 chunk, txg=txg, compression=self.compression, dedup=self.dedup
             )
             obj.set_block(index, result.bp)
@@ -172,7 +177,7 @@ class Dataset:
         obj = self.create_file(file_name)
         txg = self.pool.advance_txg()
         for index, (signature, lsize, psize, is_hole) in enumerate(blocks):
-            result = self.pool.zio.write_virtual(
+            result = self.zio.write_virtual(
                 signature,
                 lsize=lsize,
                 psize=psize,
@@ -189,7 +194,7 @@ class Dataset:
         bp = self.file(file_name).get_block(index)
         if bp.is_hole:
             return bytes(bp.lsize or self.record_size)
-        return self.pool.zio.read_bytes(bp)
+        return self.zio.read_bytes(bp)
 
     def read_file(self, file_name: str) -> bytes:
         """Read a whole materialised file."""
@@ -199,7 +204,7 @@ class Dataset:
             if bp.is_hole:
                 parts.append(bytes(bp.lsize or self.record_size))
             else:
-                parts.append(self.pool.zio.read_bytes(bp))
+                parts.append(self.zio.read_bytes(bp))
         return b"".join(parts)
 
     def delete_file(self, file_name: str) -> None:
@@ -287,7 +292,7 @@ class Dataset:
         survivors: list[BlockPointer] = []
         for bp in next_deadlist:
             if bp.birth_txg > snap.prev_txg:
-                released += self.pool.zio.release(bp)
+                released += self.zio.release(bp)
             else:
                 survivors.append(bp)
         survivors.extend(snap.deadlist)
@@ -316,7 +321,7 @@ class Dataset:
             return
         latest = self.latest_snapshot()
         if latest is None or bp.birth_txg > latest.txg:
-            self.pool.zio.release(bp)
+            self.zio.release(bp)
         else:
             self._head_deadlist.append(bp)
 

@@ -64,8 +64,44 @@ class ZPool:
         self.zio = ZioPipeline(
             self.space, self.ddt, self.plain, store_payloads=store_payloads
         )
+        self._store_payloads = store_payloads
+        #: named dedup *domains*: each is an independent DedupTable (plus a
+        #: pipeline over the shared space map). ``None``/absent -> the global
+        #: ``self.ddt``/``self.zio`` every dataset used before sharding.
+        self._domains: dict[str, tuple[DedupTable, ZioPipeline]] = {}
         self._datasets: dict[str, Dataset] = {}
         self._txg = 0
+
+    # -- dedup domains --------------------------------------------------------
+
+    def domain(self, name: str) -> tuple[DedupTable, ZioPipeline]:
+        """Get or create the named dedup domain."""
+        entry = self._domains.get(name)
+        if entry is None:
+            ddt = DedupTable()
+            zio = ZioPipeline(
+                self.space,
+                ddt,
+                DedupTable(),
+                store_payloads=self._store_payloads,
+            )
+            entry = self._domains[name] = (ddt, zio)
+        return entry
+
+    def domain_ddt(self, name: str) -> DedupTable:
+        return self.domain(name)[0]
+
+    def domain_zio(self, name: str) -> ZioPipeline:
+        return self.domain(name)[1]
+
+    def domain_names(self) -> list[str]:
+        return sorted(self._domains)
+
+    def peek_domain_ddt(self, name: str) -> DedupTable | None:
+        """The named domain's DDT, or ``None`` — never creates the domain
+        (safe for metric scrapes, which must not mutate pool state)."""
+        entry = self._domains.get(name)
+        return entry[0] if entry is not None else None
 
     # -- transaction groups ---------------------------------------------------
 
@@ -87,6 +123,7 @@ class ZPool:
         record_size: int = SQUIRREL_BLOCK_SIZE,
         compression: str = "gzip6",
         dedup: bool = True,
+        domain: str | None = None,
     ) -> Dataset:
         if name in self._datasets:
             raise StorageError(f"dataset {name!r} already exists in pool {self.name}")
@@ -96,6 +133,7 @@ class ZPool:
             record_size=record_size,
             compression=compression,
             dedup=dedup,
+            zio=self.domain_zio(domain) if domain is not None else None,
         )
         self._datasets[name] = dataset
         return dataset
@@ -124,24 +162,53 @@ class ZPool:
         return self.space.allocated_bytes
 
     @property
+    def ddt_entries_total(self) -> int:
+        """DDT entries across the global domain and every named domain."""
+        return self.ddt.entry_count + sum(
+            ddt.entry_count for ddt, _zio in self._domains.values()
+        )
+
+    @property
+    def ddt_core_bytes_total(self) -> int:
+        """Resident DDT bytes across all dedup domains."""
+        return self.ddt.in_core_bytes + sum(
+            ddt.in_core_bytes for ddt, _zio in self._domains.values()
+        )
+
+    @property
+    def ddt_disk_bytes_total(self) -> int:
+        """On-disk DDT bytes across all dedup domains."""
+        return self.ddt.on_disk_bytes + sum(
+            ddt.on_disk_bytes for ddt, _zio in self._domains.values()
+        )
+
+    @property
     def disk_used_bytes(self) -> int:
-        return self.data_bytes + self.ddt.on_disk_bytes
+        return self.data_bytes + self.ddt_disk_bytes_total
 
     @property
     def memory_used_bytes(self) -> int:
-        return self.ddt.in_core_bytes + self.arc.resident_bytes
+        return self.ddt_core_bytes_total + self.arc.resident_bytes
 
     def stats(self) -> PoolStats:
         return PoolStats(
             data_bytes=self.data_bytes,
-            ddt_disk_bytes=self.ddt.on_disk_bytes,
-            ddt_core_bytes=self.ddt.in_core_bytes,
+            ddt_disk_bytes=self.ddt_disk_bytes_total,
+            ddt_core_bytes=self.ddt_core_bytes_total,
             arc_bytes=self.arc.resident_bytes,
-            ddt_entries=self.ddt.entry_count,
+            ddt_entries=self.ddt_entries_total,
         )
 
     def dedup_ratio(self) -> float:
-        return self.ddt.dedup_ratio()
+        if not self._domains:
+            return self.ddt.dedup_ratio()
+        referenced = self.ddt.referenced_psize + sum(
+            ddt.referenced_psize for ddt, _zio in self._domains.values()
+        )
+        allocated = self.ddt.allocated_psize + sum(
+            ddt.allocated_psize for ddt, _zio in self._domains.values()
+        )
+        return referenced / allocated if allocated else 1.0
 
     def describe(self) -> str:
         """``zfs list``-style report of the pool and its datasets."""
@@ -150,7 +217,7 @@ class ZPool:
         lines = [
             f"pool {self.name}: {format_bytes(self.disk_used_bytes)} used "
             f"({format_bytes(self.data_bytes)} data + "
-            f"{format_bytes(self.ddt.on_disk_bytes)} DDT), "
+            f"{format_bytes(self.ddt_disk_bytes_total)} DDT), "
             f"{format_bytes(self.memory_used_bytes)} in core, "
             f"dedup {self.dedup_ratio():.2f}x",
             f"{'NAME':<24}{'FILES':>7}{'SNAPS':>7}{'REFER':>12}{'LSIZE':>12}",

@@ -1,0 +1,214 @@
+"""ShardedPool — one pool, many dedup shards with quotas.
+
+The paper models the cVolume as one global dedup domain; Fig 12's
+cross-similarity matrix shows most dedup value concentrates *within*
+semantically similar image groups. A :class:`ShardedPool` carves a pool's
+volume into shard datasets, each writing through an independent dedup
+domain (:meth:`~repro.zfs.pool.ZPool.domain`), with:
+
+* per-shard byte **quotas** over the shard dataset's referenced psize,
+  enforced by evicting the oldest hoarded files (insertion order, which
+  ``Dataset.file_names()`` — sorted — cannot provide);
+* per-shard DDT RAM **high-water** tracking (refreshed by the router at
+  every mutation point);
+* **cross-shard dedup loss** accounting: bytes stored redundantly because
+  identical blocks landed in more than one shard's domain.
+
+The single-shard facade *adopts* the existing volume dataset and the
+pool's global DDT instead of creating anything — that path is byte-for-byte
+the unsharded pool, pinned by ``tests/test_zfs_sharded.py``.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..common.units import SQUIRREL_BLOCK_SIZE
+from .dataset import Dataset
+from .ddt import DedupTable
+from .pool import ZPool
+
+__all__ = ["ShardedPool"]
+
+
+class ShardedPool:
+    """A facade mapping shard names onto datasets with private DDTs."""
+
+    def __init__(
+        self,
+        pool: ZPool,
+        shards: tuple[str, ...],
+        datasets: dict[str, Dataset],
+        ddts: dict[str, DedupTable],
+        *,
+        quota_bytes: int = 0,
+    ) -> None:
+        if not shards:
+            raise ConfigError("ShardedPool needs at least one shard")
+        self.pool = pool
+        self.shards = tuple(shards)
+        self._datasets = dict(datasets)
+        self._ddts = dict(ddts)
+        self.quota_bytes = int(quota_bytes)
+        self._order: dict[str, list[str]] = {s: [] for s in self.shards}
+        self._evictions: dict[str, int] = {s: 0 for s in self.shards}
+        self._evicted_bytes: dict[str, int] = {s: 0 for s in self.shards}
+        self._core_high: dict[str, int] = {s: 0 for s in self.shards}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        pool: ZPool,
+        volume: str,
+        shards: tuple[str, ...],
+        *,
+        record_size: int = SQUIRREL_BLOCK_SIZE,
+        compression: str = "gzip6",
+        quota_bytes: int = 0,
+    ) -> "ShardedPool":
+        """Create ``volume/<shard>`` datasets, one dedup domain per shard."""
+        datasets = {
+            shard: pool.create_dataset(
+                f"{volume}/{shard}",
+                record_size=record_size,
+                compression=compression,
+                domain=shard,
+            )
+            for shard in shards
+        }
+        ddts = {shard: pool.domain_ddt(shard) for shard in shards}
+        return cls(pool, shards, datasets, ddts, quota_bytes=quota_bytes)
+
+    @classmethod
+    def adopt(
+        cls,
+        pool: ZPool,
+        volume: str,
+        shard: str,
+        *,
+        quota_bytes: int = 0,
+    ) -> "ShardedPool":
+        """Wrap the existing ``volume`` dataset + global DDT as one shard.
+
+        The adopted path creates no datasets and no domains: every write
+        still goes through ``pool.zio`` into ``pool.ddt``, so behaviour and
+        accounting are byte-identical to the unsharded pool (with quota 0).
+        """
+        return cls(
+            pool,
+            (shard,),
+            {shard: pool.dataset(volume)},
+            {shard: pool.ddt},
+            quota_bytes=quota_bytes,
+        )
+
+    # -- shard access ---------------------------------------------------------
+
+    def dataset(self, shard: str) -> Dataset:
+        return self._datasets[shard]
+
+    def ddt(self, shard: str) -> DedupTable:
+        return self._ddts[shard]
+
+    # -- quota & eviction -----------------------------------------------------
+
+    def note_file(self, shard: str, name: str) -> None:
+        """Record/refresh a hoarded file in the shard's eviction order."""
+        order = self._order[shard]
+        if name in order:
+            order.remove(name)
+        order.append(name)
+
+    def forget(self, shard: str, name: str) -> None:
+        """Drop a file from the eviction order (deregistered hoards)."""
+        order = self._order[shard]
+        if name in order:
+            order.remove(name)
+
+    def ensure_quota(self, shard: str, keep: tuple[str, ...] = ()) -> list[str]:
+        """Evict oldest hoards until the shard is back under its quota.
+
+        Returns the evicted file names, in eviction order. Files named in
+        ``keep`` (the hoard just written) are never evicted.
+        """
+        if self.quota_bytes <= 0:
+            return []
+        dataset = self._datasets[shard]
+        order = self._order[shard]
+        evicted: list[str] = []
+        while dataset.referenced_psize > self.quota_bytes:
+            victim = next((n for n in order if n not in keep), None)
+            if victim is None:
+                break
+            freed = dataset.file(victim).referenced_psize
+            dataset.delete_file(victim)
+            order.remove(victim)
+            evicted.append(victim)
+            self._evictions[shard] += 1
+            self._evicted_bytes[shard] += freed
+        return evicted
+
+    def quota_pressure(self, shard: str) -> float:
+        """Referenced bytes over quota (0.0 when the quota is unlimited)."""
+        if self.quota_bytes <= 0:
+            return 0.0
+        return self._datasets[shard].referenced_psize / self.quota_bytes
+
+    # -- accounting -----------------------------------------------------------
+
+    def refresh(self, shard: str) -> None:
+        """Update the shard's DDT RAM high-water mark."""
+        core = self._ddts[shard].in_core_bytes
+        if core > self._core_high[shard]:
+            self._core_high[shard] = core
+
+    def ddt_core_high_bytes(self, shard: str) -> int:
+        return self._core_high[shard]
+
+    def evictions(self, shard: str) -> int:
+        return self._evictions[shard]
+
+    def evicted_bytes(self, shard: str) -> int:
+        return self._evicted_bytes[shard]
+
+    def shard_stats(self) -> dict[str, dict]:
+        """Per-shard accounting block (canonical-JSON friendly)."""
+        out: dict[str, dict] = {}
+        for shard in self.shards:
+            dataset = self._datasets[shard]
+            ddt = self._ddts[shard]
+            self.refresh(shard)
+            out[shard] = {
+                "files": len(dataset.file_names()),
+                "referenced_bytes": dataset.referenced_psize,
+                "ddt_entries": ddt.entry_count,
+                "ddt_core_bytes": ddt.in_core_bytes,
+                "ddt_core_high_bytes": self._core_high[shard],
+                "ddt_disk_bytes": ddt.on_disk_bytes,
+                "quota_bytes": self.quota_bytes,
+                "quota_pressure": self.quota_pressure(shard),
+                "evictions": self._evictions[shard],
+                "evicted_bytes": self._evicted_bytes[shard],
+            }
+        return out
+
+    def dedup_loss_bytes(self) -> int:
+        """Bytes stored redundantly because shards cannot dedup across
+        domains: for a checksum in ``k > 1`` shard DDTs, ``(k-1) * psize``."""
+        seen: dict[str, tuple[int, int]] = {}
+        for shard in self.shards:
+            for entry in self._ddts[shard]:
+                count, psize = seen.get(entry.checksum, (0, entry.psize))
+                seen[entry.checksum] = (count + 1, psize)
+        return sum(
+            (count - 1) * psize for count, psize in seen.values() if count > 1
+        )
+
+    def duplicate_entries(self) -> int:
+        """DDT entries beyond the first occurrence of each checksum."""
+        counts: dict[str, int] = {}
+        for shard in self.shards:
+            for entry in self._ddts[shard]:
+                counts[entry.checksum] = counts.get(entry.checksum, 0) + 1
+        return sum(count - 1 for count in counts.values() if count > 1)

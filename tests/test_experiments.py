@@ -51,8 +51,8 @@ class TestContext:
         ctx.drop_streams("caches")
         assert not any(key[0] == "caches" for key in catalog._memo)  # noqa: SLF001
 
-    def test_dataset_at_deprecated_but_equivalent(self, ctx):
-        dataset = ctx.dataset_at(ctx.config.scale)  # may or may not warn
+    def test_catalog_dataset_shares_specs(self, ctx):
+        dataset = ctx.catalog(ctx.config.scale).dataset
         assert dataset.images is ctx.catalog().specs
 
     def test_views_not_retained(self, ctx):

@@ -1,0 +1,173 @@
+"""The shards experiment's contracts: shards=1 is byte-identical to the
+plain storm, the grouped-vs-global blocks are shaped and consistent, the
+per-shard/per-tenant families respect the node-detail cap, and sweep
+merges stay byte-identical at any worker count."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.report import dumps_canonical
+from repro.experiments import registry, shard_storm, storm_timeline
+from repro.sweep import SweepSpec, run_sweep
+from repro.workload import StormConfig
+from repro.workload import scenarios
+
+#: small enough for unit tests, large enough for tenants to collide
+SMALL = {"nodes": 8, "vms_per_node": 2}
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    return shard_storm.run(shards=4, grouping="tenant", quota_mb=256, **SMALL)
+
+
+class TestRegistration:
+    def test_registered_with_params_and_metrics(self):
+        exp = registry.get("shards")
+        assert exp.exp_id == shard_storm.EXPERIMENT_ID
+        names = {spec.name for spec in exp.params}
+        assert {"shards", "grouping", "quota_mb", "nodes", "seed"} <= names
+        assert "sharding.victim.delta" in exp.metrics
+
+    def test_grouping_choices_enforced(self):
+        exp = registry.get("shards")
+        with pytest.raises(ConfigError, match="not in"):
+            exp.validate({"grouping": "alphabetical"})
+
+
+class TestUnshardedAnchor:
+    def test_shards1_report_matches_storm_run(self):
+        """shards=1 attaches no router: the embedded report must be
+        byte-for-byte the storm experiment's at the same config."""
+        one = shard_storm.run(shards=1, **SMALL)
+        storm = storm_timeline.run(
+            config=StormConfig(n_nodes=8, vms_per_node=2, seed=0)
+        )
+        assert dumps_canonical(one.report.to_dict()) == dumps_canonical(
+            storm.report.to_dict()
+        )
+        assert one.sharding == {} and one.global_side == {}
+
+    def test_shards1_render_names_the_baseline(self):
+        one = shard_storm.run(shards=1, **SMALL)
+        assert "unsharded baseline" in shard_storm.render(one)
+
+
+class TestShardingBlock:
+    def test_block_shape(self, sharded):
+        block = sharded.sharding
+        assert block["shards"] == 4 and block["grouping"] == "tenant"
+        assert set(block["grouped"]["scvolume"]) == {
+            "s00", "s01", "s02", "s03"
+        }
+        assert set(block["global"]["scvolume"]) == {"s00"}
+        for stats in block["grouped"]["scvolume"].values():
+            assert stats["quota_bytes"] > 0
+            assert 0.0 <= stats["quota_pressure"]
+
+    def test_tenant_entries_keyed_and_counted(self, sharded):
+        grouped = sharded.sharding["grouped"]["tenants"]
+        assert all(key.startswith("t") for key in grouped)
+        boots = sum(entry["boots"] for entry in grouped.values())
+        assert boots == sharded.report.squirrel.boots
+
+    def test_victim_is_consistent(self, sharded):
+        victim = sharded.sharding["victim"]
+        assert victim["tenant"] is not None
+        assert victim["delta"] == pytest.approx(
+            victim["grouped_hit_rate"] - victim["global_hit_rate"]
+        )
+        key = f"t{victim['tenant']:02d}"
+        grouped = sharded.sharding["grouped"]["tenants"][key]
+        assert grouped["hit_rate"] == victim["grouped_hit_rate"]
+
+    def test_global_side_summary(self, sharded):
+        side = sharded.global_side
+        assert side["boots"] == sharded.report.squirrel.boots
+        assert side["latency_p95"] >= side["latency_p50"] > 0
+
+    def test_tiny_quota_forces_evictions(self):
+        result = shard_storm.run(shards=2, quota_mb=1, **SMALL)
+        stats = result.sharding["grouped"]["scvolume"]
+        assert sum(s["evictions"] for s in stats.values()) > 0
+
+    def test_render_mentions_the_victim(self, sharded):
+        text = shard_storm.render(sharded)
+        assert "victim tenant" in text
+        assert "dedup loss" in text
+
+
+class TestDetailCapFold:
+    def test_shard_and_tenant_families_fold(self, monkeypatch):
+        """With the detail cap below the fleet/tenant count, labelled
+        shard families keep exact sums through ``_other``/``_fleet``
+        children instead of one series per node or tenant."""
+        monkeypatch.setattr(scenarios, "METRICS_NODE_DETAIL", 2)
+        result = shard_storm.run(shards=2, quota_mb=64, **SMALL)
+        side = result.report.squirrel
+        by_name = {f["name"]: f for f in side.metrics["instruments"]}
+
+        tenants = {
+            s["labels"]["tenant"]
+            for s in by_name["squirrel_tenant_boots_total"]["samples"]
+        }
+        assert "_other" in tenants
+        assert len(tenants) == 3  # 2 detail tenants + the fold child
+        boots = sum(
+            s["value"]
+            for s in by_name["squirrel_tenant_boots_total"]["samples"]
+        )
+        assert boots == side.boots
+
+        arc_nodes = {
+            s["labels"]["node"]
+            for s in by_name["zfs_shard_arc_hits_total"]["samples"]
+        }
+        assert "_other" in arc_nodes and len(arc_nodes) == 3
+
+        resident_nodes = {
+            s["labels"]["node"]
+            for s in by_name["zfs_shard_arc_resident_bytes"]["samples"]
+        }
+        assert "_fleet" in resident_nodes
+        assert len(resident_nodes) == 3  # 2 detail nodes + fleet aggregate
+        # the tenant hit-rate gauge only carries detail children
+        rates = {
+            s["labels"]["tenant"]
+            for s in by_name["squirrel_tenant_hit_rate"]["samples"]
+        }
+        assert len(rates) == 2 and "_other" not in rates
+
+    def test_small_fleets_uncapped(self, sharded):
+        side = sharded.report.squirrel
+        by_name = {f["name"]: f for f in side.metrics["instruments"]}
+        tenants = {
+            s["labels"]["tenant"]
+            for s in by_name["squirrel_tenant_boots_total"]["samples"]
+        }
+        assert "_other" not in tenants
+        assert len(tenants) == 32  # StormConfig.n_tenants default
+
+
+class TestSweepDeterminism:
+    def _spec(self):
+        return SweepSpec.from_grid(
+            "shards",
+            "shards=1,4 quota_mb=0,64",
+            {"nodes": 4, "vms_per_node": 1},
+        )
+
+    def test_workers_do_not_change_bytes(self):
+        serial = run_sweep(self._spec(), workers=1, scale=4096.0)
+        parallel = run_sweep(self._spec(), workers=2, scale=4096.0)
+        assert dumps_canonical(serial.to_dict()) == dumps_canonical(
+            parallel.to_dict()
+        )
+
+    def test_summary_skips_absent_sharding_paths(self):
+        result = run_sweep(self._spec(), workers=1, scale=4096.0)
+        summary = result.to_dict()["summary"]
+        assert "report.squirrel.latency.p95" in summary
+        # sharded points contribute victim metrics; shards=1 points don't
+        groups = summary["sharding.victim.delta"]
+        assert groups and all("shards=4" in key for key in groups)

@@ -154,6 +154,19 @@ class TestDiff:
         assert not entries["n_vms"].regression  # neutral: informational
         assert entries["n_vms"].direction == "neutral"
 
+    def test_hit_rate_and_ratio_are_higher_better(self):
+        old = {"victim": {"hit_rate": 0.8}, "pool": {"dedup_ratio": 3.0}}
+        new = {"victim": {"hit_rate": 0.4}, "pool": {"dedup_ratio": 1.5}}
+        entries = {e.path: e for e in diff_payloads(old, new, tolerance=0.1)}
+        assert entries["victim.hit_rate"].direction == "higher"
+        assert entries["victim.hit_rate"].regression  # isolation halved
+        assert entries["pool.dedup_ratio"].direction == "higher"
+        assert entries["pool.dedup_ratio"].regression
+        # and the inverse move is an improvement, not a regression
+        gains = {e.path: e for e in diff_payloads(new, old, tolerance=0.1)}
+        assert gains["victim.hit_rate"].improvement
+        assert gains["pool.dedup_ratio"].improvement
+
     def test_improvements_are_not_regressions(self):
         old = {"events_per_s": 100.0, "rss_bytes": 1000.0}
         new = {"events_per_s": 200.0, "rss_bytes": 500.0}
