@@ -22,6 +22,11 @@ Usage::
     python -m repro storm --progress     # live heartbeat on stderr
     python -m repro slo check slo/storm.toml report.json
     python -m repro slo diff old.json new.json --tolerance 5%
+    python -m repro sweep storm --grid "seed=0..3" --store nightly --trace
+                                         # + per-point traces/point-NNNN.json
+    python -m repro trace analyze storm.json     # critical-path blame table
+    python -m repro trace flame storm.json --out storm.folded --weight critical
+    python -m repro trace diff old.json new.json --tolerance 5%
 
 Experiments come from :mod:`repro.experiments.registry`: importing
 :mod:`repro.experiments` registers every module's ``run`` function, and
@@ -333,6 +338,13 @@ def _sweep_command(argv: list[str]) -> int:
         help="emit the merged sweep report as JSON on stdout",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="persist each executed point's Chrome trace under "
+        "<out>/traces/point-NNNN.json (requires --store/--out); "
+        "'python -m repro trace analyze' accepts the store directly",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="live heartbeat on stderr (points done/total, avg wall per "
@@ -344,6 +356,8 @@ def _sweep_command(argv: list[str]) -> int:
         parser.error("--resume already names the manifest; drop --manifest")
     if args.out is not None and args.store is not None:
         parser.error("--out and --store are mutually exclusive")
+    if args.trace and args.out is None and args.store is None:
+        parser.error("--trace needs a result store: add --store/--out")
 
     # every relative path (manifest, resume, out) anchors on the spec
     # file's directory — a sweep described by a file stores next to that
@@ -451,6 +465,7 @@ def _sweep_command(argv: list[str]) -> int:
                 quick=max(1, args.quick),
                 progress=progress,
                 header=header,
+                trace_dir=out_dir / "traces" if args.trace else None,
             )
             elapsed = time.perf_counter() - started
             if out_dir is not None:
@@ -596,8 +611,117 @@ def _slo_command(argv: list[str]) -> int:
     return 0 if not regressed else 1
 
 
+def _trace_command(argv: list[str]) -> int:
+    """``python -m repro trace analyze|flame|diff``: trace analytics.
+
+    ``analyze`` extracts per-boot critical paths from a Chrome trace (or a
+    sweep store's ``traces/`` directory) and prints the fleet blame table;
+    ``flame`` writes collapsed folded stacks (flamegraph.pl / speedscope);
+    ``diff`` compares two analyses span-name by span-name and exits 1 on a
+    critical-seconds regression past the tolerance — the trace twin of
+    ``slo diff``.
+    """
+    from .obs import (
+        analyze_sources,
+        diff_analyses,
+        folded_stacks,
+        load_trace_sources,
+        render_analysis,
+        render_trace_diff,
+    )
+    from .obs.flame import WEIGHTS
+    from .slo import parse_tolerance
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="critical-path analytics over stored Chrome traces "
+        "(single --trace files or sweep stores with traces/)",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    analyze = sub.add_parser(
+        "analyze", help="extract critical paths and print the blame table"
+    )
+    analyze.add_argument(
+        "path",
+        help="a --trace JSON file, a sweep store (--store/--out with "
+        "--trace), or a directory of trace files",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical analysis payload on stdout",
+    )
+    flame = sub.add_parser(
+        "flame", help="write collapsed folded stacks (flamegraph.pl input)"
+    )
+    flame.add_argument("path", help="trace file or sweep store")
+    flame.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the folded stacks here (default: stdout)",
+    )
+    flame.add_argument(
+        "--weight", default="wall", choices=WEIGHTS,
+        help="wall = span self-time; critical = critical-path segments "
+        "(default wall)",
+    )
+    diff = sub.add_parser(
+        "diff", help="compare two traces' critical paths; exit 1 on regression"
+    )
+    diff.add_argument("old", help="baseline trace file or store")
+    diff.add_argument("new", help="candidate trace file or store")
+    diff.add_argument(
+        "--tolerance", default="5%",
+        help="relative critical-seconds growth allowed (default 5%%)",
+    )
+    diff.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable diff on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.action == "analyze":
+            payload = analyze_sources(load_trace_sources(args.path))
+            if args.json:
+                print(dumps_canonical(payload))
+            else:
+                print(render_analysis(payload))
+            return 0
+        if args.action == "flame":
+            folded = folded_stacks(
+                load_trace_sources(args.path), weight=args.weight
+            )
+            if args.out is None:
+                print(folded, end="")
+            else:
+                Path(args.out).write_text(folded)
+                print(
+                    f"[{len(folded.splitlines())} stacks -> {args.out}]",
+                    file=sys.stderr,
+                )
+            return 0
+        tolerance = parse_tolerance(args.tolerance)
+        rows = diff_analyses(
+            analyze_sources(load_trace_sources(args.old)),
+            analyze_sources(load_trace_sources(args.new)),
+            tolerance=tolerance,
+        )
+    except ConfigError as error:
+        parser.error(str(error))
+    regressed = any(row["regression"] for row in rows)
+    if args.json:
+        print(
+            dumps_canonical(
+                {"ok": not regressed, "tolerance": tolerance, "changes": rows}
+            )
+        )
+        print(render_trace_diff(rows, tolerance=tolerance), file=sys.stderr)
+    else:
+        print(render_trace_diff(rows, tolerance=tolerance))
+    return 0 if not regressed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: dispatch to list/run/sweep/metrics/slo."""
+    """CLI entry point: dispatch to list/run/sweep/metrics/slo/trace."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "list":
         return _list_experiments()
@@ -607,6 +731,8 @@ def main(argv: list[str] | None = None) -> int:
         return _metrics_command(argv[1:])
     if argv and argv[0] == "slo":
         return _slo_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     return _run_command(argv)
 
 

@@ -32,6 +32,8 @@ Optional hooks per entry:
 
 from __future__ import annotations
 
+import functools
+import inspect
 import sys
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -40,6 +42,48 @@ from ..common.errors import ConfigError
 from .params import ParamSpec, validate_params
 
 __all__ = ["Experiment", "register", "get", "all_experiments", "aliases"]
+
+#: the registry-provided ``--trace`` spec: every experiment accepts it, so
+#: ``trace`` tooling works uniformly (timed scenarios export their span
+#: corpus; untimed analytic experiments export a valid, empty trace)
+_TRACE_SPEC = ParamSpec(
+    "trace",
+    str,
+    None,
+    "write a Chrome trace-event JSON file to this path (timed scenarios "
+    "export every span; untimed experiments write a valid empty trace)",
+)
+
+
+def _accepts_trace(run: Callable) -> bool:
+    """Whether ``run`` itself takes a ``trace`` keyword."""
+    try:
+        signature = inspect.signature(run)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "trace":
+            return True
+    return False
+
+
+def _with_empty_trace(run: Callable) -> Callable:
+    """Wrap an untimed experiment's ``run``: pop ``trace`` and honour it by
+    writing a loadable (empty) chrome trace — the uniform `--trace` contract
+    without forcing span tracing onto analytic experiments."""
+
+    @functools.wraps(run)
+    def wrapper(ctx, *args, trace: str | None = None, **params):
+        result = run(ctx, *args, **params)
+        if trace:
+            from ..obs import SpanTracer, write_chrome_trace
+
+            write_chrome_trace(trace, {wrapper.__exp_id__: SpanTracer()})
+        return result
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -114,12 +158,21 @@ def register(
                     "declared twice"
                 )
             seen.add(spec.name)
+        all_params = tuple(params)
+        run_fn = run
+        if "trace" not in seen:
+            # uniform --trace: experiments that don't declare (or take) it
+            # still accept the flag and write a valid trace file
+            all_params += (_TRACE_SPEC,)
+            if not _accepts_trace(run):
+                run_fn = _with_empty_trace(run)
+                run_fn.__exp_id__ = exp_id
         _REGISTRY[exp_id] = Experiment(
             exp_id=exp_id,
             title=title,
-            run=run,
+            run=run_fn,
             renderer=renderer,
-            params=tuple(params),
+            params=tuple(all_params),
             metrics=tuple(metrics),
             aliases=tuple(aliases),
         )

@@ -1,8 +1,23 @@
 """Observability: deterministic span tracing, cache-tier latency
-attribution, and host-side runtime telemetry (:mod:`.runtime`)."""
+attribution, host-side runtime telemetry (:mod:`.runtime`), and trace
+analytics — critical-path extraction, blame tables, flame-graph export
+(:mod:`.analyze`, :mod:`.flame`)."""
 
+from .analyze import (
+    analyze_sources,
+    analyze_tracers,
+    boot_paths,
+    critical_path_block,
+    diff_analyses,
+    load_trace_sources,
+    records_from_chrome,
+    records_from_tracer,
+    render_analysis,
+    render_trace_diff,
+)
 from .attribution import ARC_COUNTERS, BUCKETS, BootAttribution, attribution_block
 from .chrome import chrome_trace, dump_chrome_trace, write_chrome_trace
+from .flame import folded_stacks
 from .runtime import ProgressReporter, RuntimeProfiler
 from .spans import Span, SpanTracer
 
@@ -14,8 +29,19 @@ __all__ = [
     "RuntimeProfiler",
     "Span",
     "SpanTracer",
+    "analyze_sources",
+    "analyze_tracers",
     "attribution_block",
+    "boot_paths",
     "chrome_trace",
+    "critical_path_block",
+    "diff_analyses",
     "dump_chrome_trace",
+    "folded_stacks",
+    "load_trace_sources",
+    "records_from_chrome",
+    "records_from_tracer",
+    "render_analysis",
+    "render_trace_diff",
     "write_chrome_trace",
 ]

@@ -1,0 +1,642 @@
+"""Trace analytics: critical-path extraction, blame tables, trace diffing.
+
+This module turns a span corpus — a live :class:`~repro.obs.SpanTracer` or a
+``write_chrome_trace`` file on disk — into queryable evidence:
+
+* **Critical path per boot.** Each boot's span tree is walked backwards from
+  the root's finish ("last finisher" rule): at every frontier instant the
+  child whose end reaches it is the span the boot was actually waiting on,
+  gaps between children are the parent's own time, and ties (two children
+  ending at the same instant) break deterministically toward the larger
+  ``span_id`` (the later-minted span wins). The resulting segments form an
+  exact partition of the boot interval, so per boot
+  ``critical_s + slack_s == latency`` — where ``critical_s`` is time spent
+  inside descendant spans on the chain and ``slack_s`` is root self-time
+  (the regression-tested invariant, mirroring BootAttribution's).
+
+* **Fleet blame table.** Critical seconds aggregate per span name across all
+  boots, with path-composition percentiles (p50/p95/max of each name's share
+  of its boot's latency). Composition also folds into the four
+  BootAttribution tiers (``cache_s``/``net_s``/``disk_s``/``wait_s``) using
+  the queue-wait vs service annotations the scenario driver attaches to span
+  ``args`` — the same fields Perfetto shows.
+
+* **Wall buckets.** Independently of the chain, depth-1 child spans rebuild
+  the BootAttribution partition from the trace alone; the analyzer's bucket
+  sums reconcile with the report's ``attribution`` block (tested on warm,
+  cold and faulted runs).
+
+Determinism contract: all arithmetic happens in the chrome-trace microsecond
+domain (``seconds * 1e6`` — the very floats ``write_chrome_trace`` emits), so
+analyzing a live tracer and re-analyzing its exported file produce
+byte-identical payloads, and identical seeds produce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..common.errors import ConfigError
+from .spans import SpanTracer
+
+__all__ = [
+    "SpanRecord",
+    "records_from_tracer",
+    "records_from_chrome",
+    "load_trace_sources",
+    "boot_paths",
+    "analyze_sources",
+    "analyze_tracers",
+    "critical_path_block",
+    "diff_analyses",
+    "render_analysis",
+    "render_trace_diff",
+]
+
+#: schema tag stamped into every analysis payload
+SCHEMA = "repro.trace-analyze/1"
+
+#: the four attribution tiers (import-free copy of attribution.BUCKETS)
+TIERS = ("cache_s", "net_s", "disk_s", "wait_s")
+
+#: span name -> attribution tier for spans without a queue/service split
+TIER_OF_SPAN = {
+    "boot": "wait_s",
+    "fault.wait": "wait_s",
+    "arc.lookup": "cache_s",
+    "zio.decompress": "cache_s",
+    "disk.read": "disk_s",
+    "disk.write": "disk_s",
+    "gluster.fetch": "net_s",
+    "gluster.transfer": "net_s",
+    "nic.transfer": "net_s",
+    "placement.redirect": "net_s",
+    "placement.adopt": "net_s",
+}
+
+#: root-span name that marks a boot (other roots: register/resync/gc/fault.*)
+_BOOT = "boot"
+
+#: microseconds below which a diff delta is float noise, not a regression
+_DIFF_FLOOR_S = 1e-6
+
+
+@dataclass
+class SpanRecord:
+    """One span in the chrome-trace microsecond domain.
+
+    ``start_us``/``dur_us`` are computed with the exact expressions the
+    chrome exporter uses (``start_s * 1e6``, ``(end_s - start_s) * 1e6``),
+    so a record built from a live span and one parsed back from the exported
+    JSON hold bit-identical floats.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    track: str
+    start_us: float
+    dur_us: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+
+def records_from_tracer(tracer: SpanTracer) -> list[SpanRecord]:
+    """Convert a live tracer's spans (open spans measure to ``now``)."""
+    records = []
+    for span in tracer.spans():
+        end_s = span.end_s if span.end_s is not None else tracer.now
+        records.append(SpanRecord(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            track=span.track,
+            start_us=span.start_s * 1e6,
+            dur_us=(end_s - span.start_s) * 1e6,
+            attrs=dict(span.attrs),
+        ))
+    return records
+
+
+def records_from_chrome(payload: dict) -> dict[str, list[SpanRecord]]:
+    """Parse a ``write_chrome_trace`` payload back into per-process records.
+
+    Process names come from ``process_name`` metadata events, tracks from
+    ``thread_name``; span ids/parent ids ride in each complete event's
+    ``args`` (and are stripped back out of ``attrs``).
+    """
+    try:
+        events = payload["traceEvents"]
+    except (TypeError, KeyError):
+        raise ConfigError("not a chrome trace: no traceEvents") from None
+    process_of: dict[int, str] = {}
+    track_of: dict[tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            process_of[event["pid"]] = event["args"]["name"]
+        elif event.get("name") == "thread_name":
+            track_of[(event["pid"], event["tid"])] = event["args"]["name"]
+    processes: dict[str, list[SpanRecord]] = {
+        name: [] for name in process_of.values()
+    }
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        pid = event["pid"]
+        process = process_of.get(pid, f"pid{pid}")
+        attrs = dict(event.get("args", {}))
+        span_id = attrs.pop("span_id", None)
+        parent_id = attrs.pop("parent_id", None)
+        if span_id is None:
+            raise ConfigError(
+                "trace lacks span_id args (not written by this repo?)"
+            )
+        processes.setdefault(process, []).append(SpanRecord(
+            span_id=int(span_id),
+            parent_id=None if parent_id is None else int(parent_id),
+            name=event["name"],
+            track=track_of.get((pid, event["tid"]), str(event["tid"])),
+            start_us=float(event["ts"]),
+            dur_us=float(event["dur"]),
+            attrs=attrs,
+        ))
+    for records in processes.values():
+        records.sort(key=lambda r: r.span_id)
+    return processes
+
+
+def load_trace_sources(path: str | Path) -> list[dict[str, list[SpanRecord]]]:
+    """Load one trace file, a sweep store (``<dir>/traces/*.json``), or a
+    directory of trace files into a list of per-process record maps.
+
+    Sources are read in sorted-filename order so the merged analysis is
+    independent of filesystem enumeration order.
+    """
+    path = Path(path)
+    if path.is_file():
+        files = [path]
+    elif path.is_dir():
+        trace_dir = path / "traces" if (path / "traces").is_dir() else path
+        files = sorted(p for p in trace_dir.glob("*.json") if p.is_file())
+        if not files:
+            raise ConfigError(
+                f"no trace files under {path} (expected traces/*.json in a "
+                "sweep store, or *.json trace files)"
+            )
+    else:
+        raise ConfigError(f"no such trace file or store: {path}")
+    sources = []
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read trace {file}: {exc}") from None
+        sources.append(records_from_chrome(payload))
+    return sources
+
+
+# -- critical-path extraction ---------------------------------------------------
+
+
+@dataclass
+class BootPath:
+    """One boot's critical-path decomposition (all values in µs)."""
+
+    root: SpanRecord
+    #: exact partition of the boot interval: (record, stack-of-names, a, b)
+    segments: list[tuple[SpanRecord, tuple[str, ...], float, float]]
+    latency_us: float
+    critical_us: float  #: time inside descendant spans on the chain
+    slack_us: float  #: root self-time on the chain
+    by_name_us: dict[str, float]  #: critical µs per descendant span name
+    tiers_us: dict[str, float]  #: chain composition folded into TIERS
+    buckets_us: dict[str, float]  #: wall BootAttribution rebuild (depth-1)
+
+
+def _chain(
+    span: SpanRecord,
+    frontier: float,
+    stack: tuple[str, ...],
+    children: dict[int, list[SpanRecord]],
+    out: list[tuple[SpanRecord, tuple[str, ...], float, float]],
+) -> None:
+    """Append the last-finisher segments covering [span.start, frontier].
+
+    Children are visited largest-end first; ties on (end, start) break
+    toward the larger span_id — deterministic because ids are minted in
+    start order by the tracer.
+    """
+    t = min(frontier, span.end_us)
+    kids = sorted(
+        children.get(span.span_id, ()),
+        key=lambda c: (c.end_us, c.start_us, c.span_id),
+        reverse=True,
+    )
+    for child in kids:
+        if t <= span.start_us:
+            break
+        if child.dur_us <= 0 or child.start_us >= t:
+            continue
+        reach = min(child.end_us, t)
+        if reach < t:
+            out.append((span, stack, reach, t))  # gap: parent's own time
+        _chain(child, reach, stack + (child.name,), children, out)
+        t = max(span.start_us, child.start_us)
+    if t > span.start_us:
+        out.append((span, stack, span.start_us, t))
+
+
+def _segment_tier(record: SpanRecord, a: float, b: float,
+                  root: SpanRecord) -> list[tuple[str, float]]:
+    """Fold one chain segment into attribution tiers.
+
+    Queue-wait vs service annotations localise the split in time: a disk
+    span serves during its final ``service_s``, a zio span queues for a core
+    during its initial ``queue_s`` — so a chain segment lands in the right
+    tier even when it covers only part of the span.
+    """
+    width = b - a
+    if record is root:
+        return [("wait_s", width)]
+    if "interrupted" in record.attrs:
+        return [("wait_s", width)]
+    name = record.name
+    if name in ("disk.read", "disk.write"):
+        service_us = min(
+            max(0.0, float(record.attrs.get("service_s", 0.0)) * 1e6),
+            record.dur_us,
+        )
+        service_start = record.end_us - service_us
+        served = max(0.0, min(b, record.end_us) - max(a, service_start))
+        return [("disk_s", served), ("wait_s", width - served)]
+    if name == "zio.decompress":
+        queue_us = min(
+            max(0.0, float(record.attrs.get("queue_s", 0.0)) * 1e6),
+            record.dur_us,
+        )
+        queue_end = record.start_us + queue_us
+        queued = max(0.0, min(b, queue_end) - max(a, record.start_us))
+        return [("wait_s", queued), ("cache_s", width - queued)]
+    return [(TIER_OF_SPAN.get(name, "wait_s"), width)]
+
+
+def _wall_buckets(root: SpanRecord,
+                  children: dict[int, list[SpanRecord]]) -> dict[str, float]:
+    """Rebuild the BootAttribution partition from depth-1 child spans."""
+    buckets = dict.fromkeys(TIERS, 0.0)
+    covered = 0.0
+    for child in children.get(root.span_id, ()):
+        dur = child.dur_us
+        covered += dur
+        if "interrupted" in child.attrs:
+            buckets["wait_s"] += dur
+        elif child.name in ("disk.read", "disk.write"):
+            service = min(
+                max(0.0, float(child.attrs.get("service_s", 0.0)) * 1e6), dur
+            )
+            buckets["disk_s"] += service
+            buckets["wait_s"] += dur - service
+        elif child.name == "zio.decompress":
+            queue = min(
+                max(0.0, float(child.attrs.get("queue_s", 0.0)) * 1e6), dur
+            )
+            buckets["wait_s"] += queue
+            buckets["cache_s"] += dur - queue
+        else:
+            buckets[TIER_OF_SPAN.get(child.name, "wait_s")] += dur
+    buckets["wait_s"] += max(0.0, root.dur_us - covered)
+    return buckets
+
+
+def boot_paths(records: Iterable[SpanRecord]) -> list[BootPath]:
+    """Critical-path decomposition of every boot in one process's records."""
+    records = list(records)
+    children: dict[int, list[SpanRecord]] = {}
+    for record in records:
+        if record.parent_id is not None:
+            children.setdefault(record.parent_id, []).append(record)
+    for kids in children.values():
+        kids.sort(key=lambda r: r.span_id)
+    paths = []
+    for root in records:
+        if root.parent_id is not None or root.name != _BOOT:
+            continue
+        segments: list[tuple[SpanRecord, tuple[str, ...], float, float]] = []
+        _chain(root, root.end_us, (root.name,), children, segments)
+        critical = slack = 0.0
+        by_name: dict[str, float] = {}
+        tiers = dict.fromkeys(TIERS, 0.0)
+        for record, _stack, a, b in segments:
+            width = b - a
+            if record is root:
+                slack += width
+            else:
+                critical += width
+                by_name[record.name] = by_name.get(record.name, 0.0) + width
+            for tier, amount in _segment_tier(record, a, b, root):
+                tiers[tier] += amount
+        paths.append(BootPath(
+            root=root,
+            segments=segments,
+            latency_us=root.dur_us,
+            critical_us=critical,
+            slack_us=slack,
+            by_name_us=by_name,
+            tiers_us=tiers,
+            buckets_us=_wall_buckets(root, children),
+        ))
+    return paths
+
+
+# -- fleet aggregation ----------------------------------------------------------
+
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    arr = np.asarray(values, dtype=float)
+    p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+    return {
+        "count": len(values),
+        "total": float(arr.sum()),
+        "mean": float(arr.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "max": float(arr.max()),
+    }
+
+
+def _span_aggregates(records: Iterable[SpanRecord]) -> dict[str, dict]:
+    by_name: dict[str, dict] = {}
+    for record in records:
+        entry = by_name.setdefault(
+            record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        dur_s = record.dur_us / 1e6
+        entry["total_s"] += dur_s
+        entry["max_s"] = max(entry["max_s"], dur_s)
+    return {name: by_name[name] for name in sorted(by_name)}
+
+
+def _merge_span_aggregates(into: dict[str, dict], add: dict[str, dict]) -> None:
+    for name, entry in add.items():
+        slot = into.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        slot["count"] += entry["count"]
+        slot["total_s"] += entry["total_s"]
+        slot["max_s"] = max(slot["max_s"], entry["max_s"])
+
+
+def _analyze_boots(paths: list[BootPath], spans: dict[str, dict]) -> dict:
+    """The per-process analysis block from pooled boot paths."""
+    if not paths:
+        return {
+            "boots": 0,
+            "latency_s": None,
+            "critical_s": 0.0,
+            "slack_s": 0.0,
+            "critical_shares": dict.fromkeys(TIERS, 0.0),
+            "buckets": dict.fromkeys(TIERS, 0.0),
+            "blame": [],
+            "spans": spans,
+        }
+    latency_total = sum(p.latency_us for p in paths)
+    critical_total = sum(p.critical_us for p in paths)
+    slack_total = sum(p.slack_us for p in paths)
+    tiers_total = {
+        tier: sum(p.tiers_us[tier] for p in paths) for tier in TIERS
+    }
+    buckets_total = {
+        tier: sum(p.buckets_us[tier] for p in paths) for tier in TIERS
+    }
+    names = sorted({name for p in paths for name in p.by_name_us})
+    blame = []
+    for name in names:
+        shares = [
+            p.by_name_us.get(name, 0.0) / p.latency_us
+            for p in paths if p.latency_us > 0
+        ]
+        total_us = sum(p.by_name_us.get(name, 0.0) for p in paths)
+        stats = _percentiles(shares) if shares else None
+        blame.append({
+            "span": name,
+            "critical_s": total_us / 1e6,
+            "share": total_us / latency_total if latency_total else 0.0,
+            "boots": sum(1 for p in paths if p.by_name_us.get(name, 0.0) > 0),
+            "share_p50": stats["p50"] if stats else 0.0,
+            "share_p95": stats["p95"] if stats else 0.0,
+            "share_max": stats["max"] if stats else 0.0,
+        })
+    blame.sort(key=lambda row: (-row["critical_s"], row["span"]))
+    return {
+        "boots": len(paths),
+        "latency_s": _percentiles([p.latency_us / 1e6 for p in paths]),
+        "critical_s": critical_total / 1e6,
+        "slack_s": slack_total / 1e6,
+        "critical_shares": {
+            tier: tiers_total[tier] / latency_total if latency_total else 0.0
+            for tier in TIERS
+        },
+        "buckets": {tier: buckets_total[tier] / 1e6 for tier in TIERS},
+        "blame": blame,
+        "spans": spans,
+    }
+
+
+def analyze_sources(sources: list[dict[str, list[SpanRecord]]]) -> dict:
+    """The full analysis payload for one or more trace sources.
+
+    Boots pool per process name across sources (a sweep store's per-point
+    traces merge into one fleet view); ``totals`` pools across processes.
+    """
+    pooled_paths: dict[str, list[BootPath]] = {}
+    pooled_spans: dict[str, dict[str, dict]] = {}
+    for processes in sources:
+        for process in sorted(processes):
+            records = processes[process]
+            pooled_paths.setdefault(process, []).extend(boot_paths(records))
+            _merge_span_aggregates(
+                pooled_spans.setdefault(process, {}),
+                _span_aggregates(records),
+            )
+    process_blocks = {
+        process: _analyze_boots(pooled_paths[process], pooled_spans[process])
+        for process in sorted(pooled_paths)
+    }
+    all_paths = [p for process in sorted(pooled_paths)
+                 for p in pooled_paths[process]]
+    all_spans: dict[str, dict] = {}
+    for process in sorted(pooled_spans):
+        _merge_span_aggregates(all_spans, pooled_spans[process])
+    return {
+        "schema": SCHEMA,
+        "sources": len(sources),
+        "processes": process_blocks,
+        "totals": _analyze_boots(all_paths, all_spans),
+    }
+
+
+def analyze_tracers(tracers: dict[str, SpanTracer]) -> dict:
+    """Analyze live tracers — byte-identical to analyzing their export."""
+    return analyze_sources([
+        {name: records_from_tracer(tracer)
+         for name, tracer in tracers.items()}
+    ])
+
+
+def critical_path_block(tracer: SpanTracer) -> dict:
+    """The compact per-run block embedded in timed reports.
+
+    Computed in the chrome-µs domain, so ``trace analyze`` on the exported
+    file reproduces these numbers (and the full blame table) exactly.
+    """
+    paths = boot_paths(records_from_tracer(tracer))
+    block = _analyze_boots(paths, {})
+    return {
+        "boots": block["boots"],
+        "critical_s": block["critical_s"],
+        "slack_s": block["slack_s"],
+        "shares": block["critical_shares"],
+        "blame": {
+            row["span"]: row["critical_s"] for row in block["blame"]
+        },
+    }
+
+
+# -- cross-run diffing ----------------------------------------------------------
+
+
+def diff_analyses(old: dict, new: dict, *, tolerance: float) -> list[dict]:
+    """Span-name-aligned diff of two analysis payloads.
+
+    Compares, per process present on both sides: total critical seconds,
+    slack, total latency, and every blame entry (span names missing on one
+    side count as 0 — a newly expensive span *is* a regression). Lower is
+    better for every metric; a move past ``tolerance`` (relative, with a
+    1 µs absolute floor) flags a regression. Rows sort largest absolute
+    critical-seconds delta first.
+    """
+    rows: list[dict] = []
+
+    def compare(process: str, metric: str, span: str | None,
+                before: float, after: float) -> None:
+        delta = after - before
+        if before == after:
+            return
+        rel = delta / before if before else None  # None: new vs a 0 baseline
+        moved = abs(delta) > _DIFF_FLOOR_S and (
+            rel is None or abs(rel) > tolerance
+        )
+        rows.append({
+            "process": process,
+            "metric": metric,
+            "span": span,
+            "old_s": before,
+            "new_s": after,
+            "delta_s": delta,
+            "rel": rel,
+            "regression": moved and delta > 0,
+            "improvement": moved and delta < 0,
+        })
+
+    old_procs = old.get("processes", {})
+    new_procs = new.get("processes", {})
+    for process in sorted(old_procs.keys() & new_procs.keys()):
+        a, b = old_procs[process], new_procs[process]
+        compare(process, "critical_s", None, a["critical_s"], b["critical_s"])
+        compare(process, "slack_s", None, a["slack_s"], b["slack_s"])
+        old_latency = (a["latency_s"] or {}).get("total", 0.0)
+        new_latency = (b["latency_s"] or {}).get("total", 0.0)
+        compare(process, "latency_total_s", None, old_latency, new_latency)
+        old_blame = {row["span"]: row["critical_s"] for row in a["blame"]}
+        new_blame = {row["span"]: row["critical_s"] for row in b["blame"]}
+        for span in sorted(old_blame.keys() | new_blame.keys()):
+            compare(process, "blame", span,
+                    old_blame.get(span, 0.0), new_blame.get(span, 0.0))
+    rows.sort(key=lambda r: (
+        -abs(r["delta_s"]), r["process"], r["metric"], r["span"] or ""
+    ))
+    return rows
+
+
+def render_trace_diff(rows: list[dict], *, tolerance: float) -> str:
+    """Human-readable diff lines plus the one-line gate summary."""
+    lines = []
+    for row in rows:
+        if row["regression"]:
+            status = "REGRESSION"
+        elif row["improvement"]:
+            status = "improved"
+        else:
+            status = "changed"
+        where = (
+            f"{row['process']} {row['metric']}[{row['span']}]"
+            if row["span"] else f"{row['process']} {row['metric']}"
+        )
+        rel = row["rel"]
+        rel_text = f"{rel:+.1%}" if rel is not None else "from 0"
+        lines.append(
+            f"{status} {where}: {row['old_s']:.6g} -> {row['new_s']:.6g} s "
+            f"({rel_text})"
+        )
+    regressions = sum(1 for row in rows if row["regression"])
+    if regressions:
+        lines.append(
+            f"trace diff: {regressions} regression(s) past "
+            f"{tolerance:.0%} tolerance"
+        )
+    else:
+        lines.append(
+            f"trace diff: no regressions past {tolerance:.0%} tolerance "
+            f"({len(rows)} other change(s))"
+        )
+    return "\n".join(lines)
+
+
+def render_analysis(payload: dict) -> str:
+    """The human-readable blame report for ``python -m repro trace analyze``."""
+    lines = [
+        f"trace analytics: {payload['sources']} source(s), "
+        f"{payload['totals']['boots']} boot(s), "
+        f"{len(payload['processes'])} process(es)"
+    ]
+    for process, block in payload["processes"].items():
+        if not block["boots"]:
+            lines.append(f"\nprocess {process}: no boots traced")
+            continue
+        latency = block["latency_s"]
+        lines.append(
+            f"\nprocess {process}: {block['boots']} boots, latency total "
+            f"{latency['total']:.3f} s (mean {latency['mean']:.4f}, "
+            f"p99 {latency['p99']:.4f}), critical {block['critical_s']:.3f} s "
+            f"+ slack {block['slack_s']:.3f} s"
+        )
+        shares = block["critical_shares"]
+        lines.append(
+            "  critical composition: "
+            + "  ".join(
+                f"{tier[:-2]} {shares[tier]:.1%}" for tier in TIERS
+            )
+        )
+        lines.append(
+            f"  {'span':<22} {'critical s':>11} {'share':>7} "
+            f"{'boots':>6} {'p50':>7} {'p95':>7}"
+        )
+        for row in block["blame"]:
+            lines.append(
+                f"  {row['span']:<22} {row['critical_s']:>11.4f} "
+                f"{row['share']:>7.1%} {row['boots']:>6} "
+                f"{row['share_p50']:>7.1%} {row['share_p95']:>7.1%}"
+            )
+    return "\n".join(lines)

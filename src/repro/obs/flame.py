@@ -1,0 +1,96 @@
+"""Flame-graph export: collapsed folded-stack output from a span corpus.
+
+Folded stacks are the interchange format of ``flamegraph.pl`` and speedscope:
+one ``frame;frame;... value`` line per unique stack, values in integer
+microseconds. Two weightings:
+
+* ``wall`` — every span contributes its *self* time (duration minus the
+  merged coverage of its children): the classic "where did wall-clock go"
+  flame graph over all spans, boot or not.
+* ``critical`` — only critical-path segments contribute (see
+  :mod:`repro.obs.analyze`): the flame graph of what boots actually waited
+  on, weighted by chain microseconds.
+
+Lines are emitted in sorted order and values derived from the deterministic
+µs domain, so same-seed exports are byte-identical.
+"""
+
+from __future__ import annotations
+
+from .analyze import SpanRecord, boot_paths
+
+__all__ = ["folded_stacks", "WEIGHTS"]
+
+WEIGHTS = ("wall", "critical")
+
+
+def _self_times(records: list[SpanRecord]) -> dict[int, float]:
+    """Per-span self µs: duration minus merged child coverage (clipped)."""
+    children: dict[int, list[SpanRecord]] = {}
+    for record in records:
+        if record.parent_id is not None:
+            children.setdefault(record.parent_id, []).append(record)
+    selfs: dict[int, float] = {}
+    for record in records:
+        intervals = sorted(
+            (max(record.start_us, kid.start_us),
+             min(record.end_us, kid.end_us))
+            for kid in children.get(record.span_id, ())
+        )
+        covered = 0.0
+        cursor = record.start_us
+        for a, b in intervals:
+            if b <= cursor:
+                continue
+            covered += b - max(a, cursor)
+            cursor = b
+        selfs[record.span_id] = max(0.0, record.dur_us - covered)
+    return selfs
+
+
+def _stack_of(record: SpanRecord,
+              by_id: dict[int, SpanRecord]) -> tuple[str, ...]:
+    names: list[str] = []
+    cursor: SpanRecord | None = record
+    while cursor is not None:
+        names.append(cursor.name)
+        cursor = (
+            by_id.get(cursor.parent_id)
+            if cursor.parent_id is not None else None
+        )
+    return tuple(reversed(names))
+
+
+def folded_stacks(sources: list[dict[str, list[SpanRecord]]],
+                  weight: str = "wall") -> str:
+    """Collapsed folded-stack text for one or more trace sources.
+
+    Stacks are rooted at the process name (``squirrel;boot;disk.read``);
+    values are integer microseconds summed across sources.
+    """
+    if weight not in WEIGHTS:
+        raise ValueError(f"weight must be one of {WEIGHTS}, got {weight!r}")
+    totals: dict[tuple[str, ...], float] = {}
+    for processes in sources:
+        for process in sorted(processes):
+            records = processes[process]
+            if weight == "wall":
+                by_id = {record.span_id: record for record in records}
+                selfs = _self_times(records)
+                for record in records:
+                    amount = selfs[record.span_id]
+                    if amount <= 0:
+                        continue
+                    stack = (process,) + _stack_of(record, by_id)
+                    totals[stack] = totals.get(stack, 0.0) + amount
+            else:
+                for path in boot_paths(records):
+                    for _record, names, a, b in path.segments:
+                        stack = (process,) + names
+                        totals[stack] = totals.get(stack, 0.0) + (b - a)
+    lines = []
+    for stack in sorted(totals):
+        value = int(round(totals[stack]))
+        if value > 0:
+            lines.append(";".join(stack) + f" {value}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable
 
 import json
@@ -198,6 +199,7 @@ def run_sweep(
     quick: int = 1,
     progress: Callable[[SweepPoint, str, float], None] | None = None,
     header: dict | None = None,
+    trace_dir: str | Path | None = None,
 ) -> SweepResult:
     """Run every point of ``spec`` and merge the results deterministically.
 
@@ -216,11 +218,28 @@ def run_sweep(
     manifest gains a final ``manifest_version``-tagged trailer line with
     the ``runtime`` block — skipped by :func:`load_manifest`, so resumes
     and byte-identity comparisons of the point lines are unaffected.
+
+    ``trace_dir`` persists each executed point's Chrome trace as
+    ``<trace_dir>/point-NNNN.json`` (``python -m repro trace`` accepts the
+    directory). The path is injected into the *execution-time* params only
+    — never into ``point.requested``, the manifest key, or the merged
+    report — so stored sweep bytes are unchanged by tracing. Points
+    replayed from a resume manifest are not re-run and write no trace.
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
     if resume and manifest_path is None:
         raise ConfigError("resume needs a manifest path")
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+
+    def point_payload(point: SweepPoint) -> tuple[int, str, dict]:
+        params = dict(point.params)
+        if trace_dir is not None:
+            params["trace"] = str(trace_dir / f"point-{point.index:04d}.json")
+        return (point.index, point.experiment, params)
+
     profiler = obs_runtime.current()
 
     def record(point: SweepPoint, status: str, elapsed: float) -> None:
@@ -271,9 +290,7 @@ def run_sweep(
             _init_worker(scale, quick)
             for point in pending:
                 started = time.perf_counter()
-                index, result = _run_point(
-                    (point.index, point.experiment, dict(point.params))
-                )
+                index, result = _run_point(point_payload(point))
                 results[index] = result
                 if manifest is not None:
                     _append_manifest(manifest, point, result)
@@ -288,10 +305,7 @@ def run_sweep(
                 futures = {}
                 for point in pending:
                     futures[
-                        pool.submit(
-                            _run_point,
-                            (point.index, point.experiment, dict(point.params)),
-                        )
+                        pool.submit(_run_point, point_payload(point))
                     ] = point
                     started_at[point.index] = time.perf_counter()
                 for future in as_completed(futures):

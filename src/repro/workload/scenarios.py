@@ -64,6 +64,7 @@ from ..obs import (
     BootAttribution,
     SpanTracer,
     attribution_block,
+    critical_path_block,
     write_chrome_trace,
 )
 from ..obs import runtime as obs_runtime
@@ -1090,7 +1091,10 @@ class TimedSquirrel:
             _disk_offset(physical, image_id), physical
         )
         bt.att.charge_split(service, "disk_s")
-        disk_span.end(service_s=service)
+        disk_span.end(
+            service_s=service,
+            queue_s=max(0.0, self.engine.now - disk_span.start_s - service),
+        )
         zio = bt.child("zio.decompress", n_bytes=logical)
         grant = self.cpu[node_name].request()
         try:
@@ -1099,7 +1103,7 @@ class TimedSquirrel:
             # preempted while queued for (or holding) a core: give it back
             self.cpu[node_name].cancel(grant)
             raise
-        bt.att.charge("wait_s")
+        queue_s = bt.att.charge("wait_s")
         try:
             yield self.engine.timeout(
                 self._paper_blocks(missed_logical) * self.zfs_costs.per_block_cpu_s
@@ -1108,7 +1112,7 @@ class TimedSquirrel:
             bt.att.charge("cache_s")
         finally:
             self.cpu[node_name].release()
-        zio.end()
+        zio.end(queue_s=queue_s)
 
     def _cold_fetch(self, node_name: str, moved: int, plan, handle, bt):
         """Cache miss: the boot set streams from the bricks through the
@@ -1145,7 +1149,12 @@ class TimedSquirrel:
                 _disk_offset(total, node_name), total
             )
             bt.att.charge_split(service, "disk_s")
-            disk_span.end(service_s=service)
+            disk_span.end(
+                service_s=service,
+                queue_s=max(
+                    0.0, self.engine.now - disk_span.start_s - service
+                ),
+            )
         except Interrupted:
             # the fetch died with the node/brick: withdraw the half-done
             # flows so surviving transfers get their bandwidth share back
@@ -1194,7 +1203,12 @@ class TimedSquirrel:
                 _disk_offset(total, node_name), total
             )
             bt.att.charge_split(service, "disk_s")
-            disk_span.end(service_s=service)
+            disk_span.end(
+                service_s=service,
+                queue_s=max(
+                    0.0, self.engine.now - disk_span.start_s - service
+                ),
+            )
             if outcome.adopted:
                 adopt = bt.child(
                     "placement.adopt", image_id=outcome.image_id,
@@ -1518,6 +1532,9 @@ class StormSide:
     attribution: dict = field(repr=False)
     #: per-span-name aggregates from the run's tracer
     spans: dict = field(repr=False)
+    #: critical-path rollup: per-boot longest dependency chain, folded into
+    #: a blame table + tier shares (``trace analyze`` reproduces it exactly)
+    critical_path: dict = field(repr=False)
     summary: dict = field(repr=False)
     #: canonical metrics block: instrument snapshot + sampled series
     metrics: dict = field(repr=False)
@@ -1683,6 +1700,7 @@ def _run_storm_side(
         node_recovery=timeline.stats("node_recovery_s"),
         attribution=attribution_block(timeline),
         spans=timed.tracer.summary(),
+        critical_path=critical_path_block(timed.tracer),
         summary=timeline.summary(),
         metrics=rig.metrics_block(),
     )
